@@ -1,0 +1,143 @@
+package vlasov6d
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start path end to
+// end through the facade.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := Config{
+		Par:       Planck2015(0.4),
+		Box:       200,
+		NGrid:     6,
+		NU:        6,
+		NPartSide: 6,
+		PMFactor:  2,
+		Seed:      1,
+	}
+	sim, err := NewSimulation(cfg, 1.0/11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Evolve(0.095, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sim.A <= 1.0/11 {
+		t.Fatal("no progress")
+	}
+	m := sim.Grid.ComputeMoments()
+	if len(m.Density) != 216 {
+		t.Fatalf("moments size %d", len(m.Density))
+	}
+}
+
+func TestPublicAPICosmology(t *testing.T) {
+	p := Planck2015(0.4)
+	if p.FNu() <= 0 {
+		t.Fatal("fν must be positive with massive neutrinos")
+	}
+	ps := NewLinearPower(p)
+	if ps.Total(0.1) <= 0 {
+		t.Fatal("P(k) must be positive")
+	}
+}
+
+func TestPublicAPISchemes(t *testing.T) {
+	names := SchemeNames()
+	if len(names) < 4 {
+		t.Fatalf("schemes: %v", names)
+	}
+	for _, n := range names {
+		s, err := NewScheme(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		line := make([]float64, 32)
+		for i := range line {
+			line[i] = 1 + 0.1*math.Sin(float64(i))
+		}
+		if err := s.Step(line, 0.5); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestPublicAPIPlasma(t *testing.T) {
+	s, err := NewPlasmaSolver(32, 64, 4*math.Pi, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LandauInit(0.01, 0.5, 1)
+	if err := s.Step(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if g := LandauDampingRate(0.5, 1); g >= 0 {
+		t.Fatalf("Landau rate %v should be negative", g)
+	}
+}
+
+func TestPublicAPIMachine(t *testing.T) {
+	m, err := NewMachineModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := RunTable()
+	if len(runs) != 18 {
+		t.Fatalf("run table %d", len(runs))
+	}
+	b := m.Step(runs[len(runs)-1])
+	if b.Total <= 0 {
+		t.Fatal("model broken")
+	}
+	if dl := EffectiveResolution(1200, 13824, 100); math.Abs(dl-1200.0/642) > 0.01 {
+		t.Fatalf("eq. 9: %v", dl)
+	}
+}
+
+func TestPublicAPISnapshotRoundTrip(t *testing.T) {
+	cfg := Config{
+		Par:       Planck2015(0.2),
+		Box:       100,
+		NGrid:     6,
+		NU:        6,
+		NPartSide: 6,
+		Seed:      9,
+	}
+	sim, err := NewSimulation(cfg, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := WriteSnapshot(&buf, &Snapshot{A: sim.A, Time: sim.Time, Part: sim.Part, Grid: sim.Grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("empty snapshot")
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.A != sim.A || got.Part.N != sim.Part.N || got.Grid == nil {
+		t.Fatal("snapshot mismatch")
+	}
+}
+
+func TestPublicAPIPowerSpectrum(t *testing.T) {
+	n := 16
+	rho := make([]float64, n*n*n)
+	for i := range rho {
+		rho[i] = 1 + 0.1*math.Sin(float64(i%n))
+	}
+	ks, pk, counts, err := MeasurePowerSpectrum(rho, n, 100, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) == 0 || len(ks) != len(pk) || len(pk) != len(counts) {
+		t.Fatal("bad spectrum shape")
+	}
+}

@@ -1,0 +1,76 @@
+// Neutrino-mass comparison: the Fig. 4 workload. Two hybrid runs from the
+// SAME random phases with ΣMν = 0.4 eV and 0.2 eV show the mass-dependent
+// neutrino clustering (heavier = slower = more clustered) and the
+// suppression of the total-matter power spectrum — the observable signal
+// future galaxy surveys will use to weigh the neutrino.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"vlasov6d"
+)
+
+func run(mnu float64) (*vlasov6d.Simulation, float64) {
+	cfg := vlasov6d.Config{
+		Par:       vlasov6d.Planck2015(mnu),
+		Box:       200,
+		NGrid:     8,
+		NU:        8,
+		NPartSide: 8,
+		PMFactor:  2,
+		Seed:      20211114, // shared phases across masses
+	}
+	sim, err := vlasov6d.NewSimulation(cfg, 1.0/11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.Evolve(0.25, 100000, nil); err != nil {
+		log.Fatal(err)
+	}
+	m := sim.Grid.ComputeMoments()
+	mean, rms := 0.0, 0.0
+	for _, v := range m.Density {
+		mean += v
+	}
+	mean /= float64(len(m.Density))
+	for _, v := range m.Density {
+		d := v/mean - 1
+		rms += d * d
+	}
+	return sim, math.Sqrt(rms / float64(len(m.Density)))
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("evolving two hybrid runs (shared phases) to z = 3 ...")
+	sim4, c4 := run(0.4)
+	_, c2 := run(0.2)
+
+	fmt.Printf("\nν density contrast at z = 3:\n")
+	fmt.Printf("  ΣMν = 0.4 eV : %.4f\n", c4)
+	fmt.Printf("  ΣMν = 0.2 eV : %.4f\n", c2)
+	fmt.Printf("  heavier neutrinos cluster more: %v (the Fig. 4 middle-vs-right contrast)\n\n", c4 > c2)
+
+	// Total-matter spectrum of the 0.4 eV run.
+	mesh := make([]float64, sim4.PM.Size())
+	if err := sim4.Part.CICDeposit(mesh, sim4.PM.N); err != nil {
+		log.Fatal(err)
+	}
+	if nu := sim4.NeutrinoDensityPM(); nu != nil {
+		for i, v := range nu {
+			mesh[i] += v
+		}
+	}
+	ks, pk, _, err := vlasov6d.MeasurePowerSpectrum(mesh, sim4.PM.N[0], 200, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("total-matter P(k) at z = 3 (ΣMν = 0.4 eV):")
+	fmt.Printf("%12s %14s\n", "k [h/Mpc]", "P(k) [(Mpc/h)³]")
+	for i := range ks {
+		fmt.Printf("%12.4f %14.4e\n", ks[i], pk[i])
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: a minimal hybrid Vlasov/N-body run through the public API —
+// the smallest simulation that exercises the full pipeline (6D neutrino
+// grid + TreePM dark matter + shared potential) and prints physically
+// meaningful output: growth of structure and conservation checks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vlasov6d"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := vlasov6d.Config{
+		Par:       vlasov6d.Planck2015(0.4), // ΣMν = 0.4 eV
+		Box:       200,                      // h⁻¹Mpc
+		NGrid:     8,                        // 8³ spatial cells
+		NU:        8,                        // 8³ velocity cells per spatial cell
+		NPartSide: 8,                        // 8³ CDM particles
+		PMFactor:  2,
+		Seed:      42,
+	}
+	// Start at z = 10, as the paper's end-to-end runs do.
+	sim, err := vlasov6d.NewSimulation(cfg, 1.0/11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nu0, cdm0 := sim.TotalMass()
+	fmt.Printf("initial state: z = %.1f, fν = %.4f\n", sim.Redshift(), cfg.Par.FNu())
+	fmt.Printf("  ν mass %.4e, CDM mass %.4e (10¹⁰ h⁻¹ M_sun)\n", nu0, cdm0)
+
+	// Evolve to z = 4.
+	if err := sim.Evolve(0.2, 100000, func(step int, s *vlasov6d.Simulation) error {
+		if (step+1)%10 == 0 {
+			fmt.Printf("  step %3d: z = %5.2f\n", step+1, s.Redshift())
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	nu1, _ := sim.TotalMass()
+	m := sim.Grid.ComputeMoments()
+	mn, mx := m.Density[0], m.Density[0]
+	for _, v := range m.Density {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	fmt.Printf("\nfinal state: z = %.2f after %d steps (%.1fs wall)\n",
+		sim.Redshift(), sim.Tim.Steps, sim.Tim.Total.Seconds())
+	fmt.Printf("  ν mass conservation: drift %+.2e (boundary loss %.2e)\n",
+		(nu1+sim.VSol.BoundaryLoss-nu0)/nu0, sim.VSol.BoundaryLoss/nu0)
+	fmt.Printf("  ν density contrast range: %.4f – %.4f of mean\n",
+		mn/sim.Cosmo().MeanNuDensity(), mx/sim.Cosmo().MeanNuDensity())
+	fmt.Printf("  (neutrinos stay smooth — the free-streaming signature of Fig. 4)\n")
+}

@@ -1,0 +1,83 @@
+// Shot noise: the §5.4 / Figs. 5–6 experiment in miniature. The same
+// neutrino component is evolved twice — once as a continuous distribution
+// function on the 6D grid, once as TianNu-style particles — and the
+// cell-to-cell fluctuation of the density, velocity and dispersion fields is
+// compared. The Vlasov fields are smooth; the particle fields carry Poisson
+// noise that no amount of smoothing removes without destroying resolution
+// (the paper's eq. 9 trade-off).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"vlasov6d"
+	"vlasov6d/internal/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	base := vlasov6d.Config{
+		Par:       vlasov6d.Planck2015(0.4),
+		Box:       200,
+		NGrid:     8,
+		NU:        8,
+		NPartSide: 8,
+		PMFactor:  2,
+		Seed:      7,
+	}
+	fmt.Println("evolving the Vlasov run ...")
+	simV, err := vlasov6d.NewSimulation(base, 1.0/11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := simV.Evolve(0.2, 100000, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("evolving the ν-particle baseline (8× CDM count, as TianNu) ...")
+	cfgP := base
+	cfgP.NuParticles = true
+	cfgP.NNuSide = 2 * base.NPartSide
+	simP, err := vlasov6d.NewSimulation(cfgP, 1.0/11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := simP.Evolve(0.2, 100000, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	momV := simV.Grid.ComputeMoments()
+	n3 := [3]int{simV.Grid.NX, simV.Grid.NY, simV.Grid.NZ}
+	momP, err := analysis.MomentsFromParticles(simP.NuPart, n3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meanV := make([]float64, len(momV.Density))
+	for c := range meanV {
+		var m2 float64
+		for d := 0; d < 3; d++ {
+			m2 += momV.MeanU[d][c] * momV.MeanU[d][c]
+		}
+		meanV[c] = math.Sqrt(m2)
+	}
+	perCell := float64(simP.NuPart.N) / float64(len(momV.Density))
+	fmt.Printf("\nν particles per cell in the baseline: %.0f → expected Poisson noise 1/√N = %.3f\n",
+		perCell, 1/math.Sqrt(perCell))
+	fmt.Printf("%-12s %16s %16s\n", "field", "Vlasov RMS", "N-body RMS")
+	rows := []struct {
+		name   string
+		vl, nb []float64
+	}{
+		{"density", momV.Density, momP.Density},
+		{"velocity", meanV, momP.MeanV},
+		{"dispersion", momV.Sigma, momP.Sigma},
+	}
+	for _, r := range rows {
+		nc := analysis.CompareNoise(r.vl, r.nb)
+		fmt.Printf("%-12s %16.4f %16.4f\n", r.name, nc.VlasovRMS, nc.ParticleRMS)
+	}
+	fmt.Println("\nthe N-body dispersion/velocity maps fluctuate cell-to-cell while the")
+	fmt.Println("Vlasov maps are smooth — Fig. 6's message, measured rather than plotted.")
+}

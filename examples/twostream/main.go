@@ -1,0 +1,58 @@
+// Two-stream instability: two counter-streaming electron beams are linearly
+// unstable — the field energy grows exponentially, then saturates by
+// trapping particles into the famous phase-space vortex. The run prints the
+// growth history and verifies positivity of f through the strongly nonlinear
+// stage, exactly what the paper's MP/PP limiters are for.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"vlasov6d"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		k     = 0.2
+		v0    = 2.4
+		vth   = 0.5
+		alpha = 1e-3
+		dt    = 0.1
+		steps = 600
+	)
+	s, err := vlasov6d.NewPlasmaSolver(64, 128, 2*math.Pi/k, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.TwoStreamInit(alpha, k, v0, vth)
+	m0 := s.TotalMass()
+	e0 := s.FieldEnergy()
+
+	fmt.Printf("two-stream instability: beams at ±%.1f, k = %.2f\n", v0, k)
+	fmt.Printf("%8s %14s\n", "t", "field energy")
+	peakE := e0
+	for i := 0; i < steps; i++ {
+		if err := s.Step(dt); err != nil {
+			log.Fatal(err)
+		}
+		e := s.FieldEnergy()
+		if e > peakE {
+			peakE = e
+		}
+		if i%40 == 0 {
+			fmt.Printf("%8.1f %14.6e\n", float64(i)*dt, e)
+		}
+	}
+	minF := math.Inf(1)
+	for _, v := range s.F {
+		if v < minF {
+			minF = v
+		}
+	}
+	fmt.Printf("\nfield energy grew %.1e× before saturation\n", peakE/e0)
+	fmt.Printf("mass conservation: drift %+.2e\n", (s.TotalMass()-m0)/m0)
+	fmt.Printf("minimum of f      : %.3e (positivity preserved: %v)\n", minF, minF >= 0)
+}

@@ -1,0 +1,95 @@
+// Package advect implements the one-dimensional advection solvers at the
+// heart of the paper's Vlasov method (§5.2). The directional-splitting
+// approach (eq. 3–5) reduces the 6D Vlasov equation to sweeps of the linear
+// advection equation ∂f/∂t + v ∂f/∂x = 0 with a velocity v that is constant
+// along each sweep line.
+//
+// The schemes provided are
+//
+//   - SLMPP5 — the paper's novel scheme (Tanaka et al. 2017): a conservative
+//     semi-Lagrangian flux of spatially fifth order, limited by the
+//     Suresh–Huynh monotonicity-preserving (MP) constraints and a
+//     positivity-preserving flux clip, advanced with a SINGLE flux stage per
+//     step and no CFL restriction.
+//   - MP5 — the conventional comparator: Suresh–Huynh MP5 reconstruction with
+//     three-stage TVD Runge-Kutta time integration (three flux evaluations
+//     per step, CFL ≤ 1).
+//   - Upwind1, LaxWendroff2 — first- and second-order baselines.
+//
+// All schemes advance periodic lines in place; the Vlasov solver feeds them
+// ghost-padded lines through the same flux kernels.
+package advect
+
+import "fmt"
+
+// Scheme advances the 1D linear advection equation on a periodic line.
+// Implementations keep private scratch buffers and are therefore not safe
+// for concurrent use; call Clone to obtain per-worker instances.
+type Scheme interface {
+	// Name identifies the scheme in tables and benchmarks.
+	Name() string
+	// Stages returns the number of flux evaluations per time step (the
+	// paper's cost argument: SL-MPP5 = 1, MP5-RK3 = 3).
+	Stages() int
+	// MaxCFL returns the largest stable CFL number (0 means unconditional).
+	MaxCFL() float64
+	// Step advances f in place by one step with CFL number c = v·Δt/Δx.
+	// The line is treated as periodic.
+	Step(f []float64, c float64) error
+	// Clone returns an independent instance for use by another goroutine.
+	Clone() Scheme
+}
+
+// New constructs a scheme by name: "slmpp5", "mp5", "upwind1", "laxwendroff2".
+func New(name string) (Scheme, error) {
+	switch name {
+	case "slmpp5":
+		return NewSLMPP5(), nil
+	case "mp5":
+		return NewMP5(), nil
+	case "upwind1":
+		return NewUpwind1(), nil
+	case "laxwendroff2":
+		return NewLaxWendroff2(), nil
+	}
+	return nil, fmt.Errorf("advect: unknown scheme %q", name)
+}
+
+// Names lists the registered scheme names.
+func Names() []string { return []string{"slmpp5", "mp5", "upwind1", "laxwendroff2"} }
+
+// minmod2 returns the minmod of two arguments.
+func minmod2(a, b float64) float64 {
+	if a*b <= 0 {
+		return 0
+	}
+	if a > 0 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// minmod4 returns the minmod of four arguments.
+func minmod4(a, b, c, d float64) float64 {
+	return minmod2(minmod2(a, b), minmod2(c, d))
+}
+
+// median returns the median of three values.
+func median(a, b, c float64) float64 {
+	return a + minmod2(b-a, c-a)
+}
+
+// mod returns i modulo n in [0, n).
+func mod(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}

@@ -1,0 +1,415 @@
+package decomp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"vlasov6d/internal/fft"
+	"vlasov6d/internal/mpisim"
+	"vlasov6d/internal/phase"
+	"vlasov6d/internal/vlasov"
+)
+
+// fillGlobal evaluates a deterministic f at GLOBAL coordinates so that every
+// decomposition produces the same physical state.
+func fillGlobal(b *Block, globalBox [3]float64) {
+	g := b.G
+	ox := float64(b.GlobalOrigin(0)) * g.DX(0)
+	oy := float64(b.GlobalOrigin(1)) * g.DX(1)
+	oz := float64(b.GlobalOrigin(2)) * g.DX(2)
+	g.Fill(func(x, y, z, ux, uy, uz float64) float64 {
+		gx, gy, gz := x+ox, y+oy, z+oz
+		w := 1 + 0.5*math.Sin(2*math.Pi*gx/globalBox[0])*math.Cos(2*math.Pi*(gy+gz)/globalBox[1])
+		return w * math.Exp(-(ux*ux+uy*uy+uz*uz)/(2*900*900))
+	})
+}
+
+// runDistributedDrift drifts the decomposed grid and returns the global
+// reassembled density and total mass.
+func runDistributedDrift(t *testing.T, procs [3]int, dt, a float64) ([]float64, float64) {
+	t.Helper()
+	globalN := [3]int{12, 12, 12}
+	nu := [3]int{6, 6, 6}
+	box := [3]float64{100, 100, 100}
+	nranks := procs[0] * procs[1] * procs[2]
+	w, err := mpisim.NewWorld(nranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cart, err := mpisim.NewCart(nranks, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var density []float64
+	var mass float64
+	err = w.Run(func(c *mpisim.Comm) error {
+		b, err := NewBlock(c, cart, globalN, nu, box, 3000)
+		if err != nil {
+			return err
+		}
+		fillGlobal(b, box)
+		if err := b.Drift(dt, a); err != nil {
+			return err
+		}
+		m, err := b.GlobalMass()
+		if err != nil {
+			return err
+		}
+		rho, err := b.GatherDensity()
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			density = rho
+			mass = m
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return density, mass
+}
+
+func TestNewBlockValidation(t *testing.T) {
+	w, _ := mpisim.NewWorld(2)
+	cart, _ := mpisim.NewCart(2, [3]int{2, 1, 1})
+	err := w.Run(func(c *mpisim.Comm) error {
+		if _, err := NewBlock(c, cart, [3]int{7, 8, 8}, [3]int{6, 6, 6}, [3]float64{1, 1, 1}, 1); err == nil {
+			return fmt.Errorf("non-divisible extent accepted")
+		}
+		if _, err := NewBlock(c, cart, [3]int{4, 8, 8}, [3]int{6, 6, 6}, [3]float64{1, 1, 1}, 1); err == nil {
+			return fmt.Errorf("local extent < ghost width accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedDriftMatchesSerial(t *testing.T) {
+	// CFL < 1 so both paths take a single sweep with identical arithmetic
+	// (at larger dt the decomposed driver legitimately sub-steps).
+	dt, a := 0.0018, 0.9
+	// Serial reference via the vlasov package (periodic whole box).
+	g, err := phase.New(12, 12, 12, [3]int{6, 6, 6}, [3]float64{100, 100, 100}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Fill(func(x, y, z, ux, uy, uz float64) float64 {
+		w := 1 + 0.5*math.Sin(2*math.Pi*x/100)*math.Cos(2*math.Pi*(y+z)/100)
+		return w * math.Exp(-(ux*ux+uy*uy+uz*uz)/(2*900*900))
+	})
+	vs, err := vlasov.New(g, "slmpp5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs.SetWorkers(1)
+	if err := vs.Drift(dt, a); err != nil {
+		t.Fatal(err)
+	}
+	mRef := g.ComputeMoments()
+
+	for _, procs := range [][3]int{{1, 1, 1}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}, {1, 3, 1}} {
+		rho, mass := runDistributedDrift(t, procs, dt, a)
+		refMass := g.TotalMass()
+		if math.Abs(mass-refMass)/refMass > 1e-6 {
+			t.Fatalf("procs %v: mass %v vs serial %v", procs, mass, refMass)
+		}
+		worst := 0.0
+		for i := range rho {
+			d := math.Abs(rho[i] - mRef.Density[i])
+			if d > worst {
+				worst = d
+			}
+		}
+		mean := 0.0
+		for _, v := range mRef.Density {
+			mean += v
+		}
+		mean /= float64(len(mRef.Density))
+		if worst/mean > 1e-5 {
+			t.Fatalf("procs %v: worst density mismatch %v (mean %v)", procs, worst, mean)
+		}
+	}
+}
+
+func TestDriftConservesMassAcrossRanks(t *testing.T) {
+	globalN := [3]int{12, 6, 6}
+	nu := [3]int{6, 6, 6}
+	box := [3]float64{50, 25, 25}
+	w, _ := mpisim.NewWorld(4)
+	cart, _ := mpisim.NewCart(4, [3]int{4, 1, 1})
+	err := w.Run(func(c *mpisim.Comm) error {
+		b, err := NewBlock(c, cart, globalN, nu, box, 2000)
+		if err != nil {
+			return err
+		}
+		fillGlobal(b, box)
+		m0, err := b.GlobalMass()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			if err := b.Drift(0.002, 1.0); err != nil {
+				return err
+			}
+		}
+		m1, err := b.GlobalMass()
+		if err != nil {
+			return err
+		}
+		if math.Abs(m1-m0)/m0 > 1e-6 {
+			return fmt.Errorf("mass drift %v", math.Abs(m1-m0)/m0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriftCFLGuard(t *testing.T) {
+	w, _ := mpisim.NewWorld(1)
+	cart, _ := mpisim.NewCart(1, [3]int{1, 1, 1})
+	err := w.Run(func(c *mpisim.Comm) error {
+		b, err := NewBlock(c, cart, [3]int{6, 6, 6}, [3]int{6, 6, 6}, [3]float64{10, 10, 10}, 5000)
+		if err != nil {
+			return err
+		}
+		// Huge dt: DriftAxis must refuse, Drift must sub-step and succeed.
+		if err := b.DriftAxis(0, 1.0, 1.0); err == nil {
+			return fmt.Errorf("CFL violation accepted")
+		}
+		return b.Drift(0.01, 1.0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlabFFTMatchesSerial(t *testing.T) {
+	n := [3]int{8, 8, 6}
+	rng := rand.New(rand.NewSource(21))
+	global := make([]complex128, n[0]*n[1]*n[2])
+	for i := range global {
+		global[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	ref := append([]complex128(nil), global...)
+	f3, err := fft.NewFFT3(n[0], n[1], n[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f3.Forward(ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4} {
+		w, _ := mpisim.NewWorld(p)
+		got := make([]complex128, len(global))
+		err := w.Run(func(c *mpisim.Comm) error {
+			s, err := NewSlabFFT(c, n)
+			if err != nil {
+				return err
+			}
+			lx := n[0] / p
+			slab := make([]complex128, s.LocalLen())
+			copy(slab, global[c.Rank()*lx*n[1]*n[2]:(c.Rank()+1)*lx*n[1]*n[2]])
+			if err := s.Forward(slab); err != nil {
+				return err
+			}
+			copy(got[c.Rank()*lx*n[1]*n[2]:], slab)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if cmplx.Abs(ref[i]-got[i]) > 1e-9 {
+				t.Fatalf("p=%d: mismatch at %d: %v vs %v", p, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSlabFFTRoundTrip(t *testing.T) {
+	n := [3]int{8, 8, 4}
+	w, _ := mpisim.NewWorld(2)
+	err := w.Run(func(c *mpisim.Comm) error {
+		s, err := NewSlabFFT(c, n)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(int64(c.Rank())))
+		slab := make([]complex128, s.LocalLen())
+		for i := range slab {
+			slab[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		orig := append([]complex128(nil), slab...)
+		if err := s.Forward(slab); err != nil {
+			return err
+		}
+		if err := s.Inverse(slab); err != nil {
+			return err
+		}
+		for i := range slab {
+			if cmplx.Abs(slab[i]-orig[i]) > 1e-10 {
+				return fmt.Errorf("roundtrip mismatch at %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlabFFTValidation(t *testing.T) {
+	w, _ := mpisim.NewWorld(3)
+	err := w.Run(func(c *mpisim.Comm) error {
+		if _, err := NewSlabFFT(c, [3]int{8, 8, 8}); err == nil {
+			return fmt.Errorf("non-divisible dims accepted for 3 ranks")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGhostExchangeIdentity(t *testing.T) {
+	// With a single rank along an axis the ghosts are the rank's own
+	// periodic wrap.
+	w, _ := mpisim.NewWorld(1)
+	cart, _ := mpisim.NewCart(1, [3]int{1, 1, 1})
+	err := w.Run(func(c *mpisim.Comm) error {
+		b, err := NewBlock(c, cart, [3]int{6, 6, 6}, [3]int{6, 6, 6}, [3]float64{10, 10, 10}, 100)
+		if err != nil {
+			return err
+		}
+		for i := range b.G.Data {
+			b.G.Data[i] = float32(i % 251)
+		}
+		lo, hi, err := b.ExchangeGhosts(0)
+		if err != nil {
+			return err
+		}
+		wantLo := b.packPlanes(0, 3, 3) // planes n−3..n−1 == 3..5
+		for i := range lo {
+			if lo[i] != wantLo[i] {
+				return fmt.Errorf("loGhost mismatch at %d", i)
+			}
+		}
+		wantHi := b.packPlanes(0, 0, 3)
+		for i := range hi {
+			if hi[i] != wantHi[i] {
+				return fmt.Errorf("hiGhost mismatch at %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistributedFullVlasovStep combines the local velocity kick (which
+// needs no communication — the §5.1.3 design point) with the distributed
+// drift into a complete eq.-(5) step, and compares against the serial
+// solver.
+func TestDistributedFullVlasovStep(t *testing.T) {
+	globalN := [3]int{8, 8, 8}
+	nu := [3]int{6, 6, 6}
+	box := [3]float64{80, 80, 80}
+	dt, a := 0.0015, 1.0
+	accVal := [3]float64{40, -25, 10}
+
+	// Serial reference.
+	g, err := phase.New(8, 8, 8, nu, box, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Fill(func(x, y, z, ux, uy, uz float64) float64 {
+		w := 1 + 0.4*math.Sin(2*math.Pi*x/80)*math.Cos(2*math.Pi*y/80)
+		return w * math.Exp(-(ux*ux+uy*uy+uz*uz)/(2*700*700))
+	})
+	vs, err := vlasov.New(g, "slmpp5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs.SetWorkers(1)
+	var acc [3][]float64
+	for d := 0; d < 3; d++ {
+		acc[d] = make([]float64, g.NCells())
+		for c := range acc[d] {
+			acc[d][c] = accVal[d]
+		}
+	}
+	if err := vs.Step(dt, a, acc); err != nil {
+		t.Fatal(err)
+	}
+	mRef := g.ComputeMoments()
+
+	// Distributed: 2×2×1 ranks, same physical state, kick locally via a
+	// per-rank vlasov solver + drift via the ghost-exchange path.
+	w, _ := mpisim.NewWorld(4)
+	cart, _ := mpisim.NewCart(4, [3]int{2, 2, 1})
+	var rho []float64
+	err = w.Run(func(c *mpisim.Comm) error {
+		b, err := NewBlock(c, cart, globalN, nu, box, 2500)
+		if err != nil {
+			return err
+		}
+		ox := float64(b.GlobalOrigin(0)) * b.G.DX(0)
+		oy := float64(b.GlobalOrigin(1)) * b.G.DX(1)
+		b.G.Fill(func(x, y, z, ux, uy, uz float64) float64 {
+			wv := 1 + 0.4*math.Sin(2*math.Pi*(x+ox)/80)*math.Cos(2*math.Pi*(y+oy)/80)
+			return wv * math.Exp(-(ux*ux+uy*uy+uz*uz)/(2*700*700))
+		})
+		lvs, err := vlasov.New(b.G, "slmpp5")
+		if err != nil {
+			return err
+		}
+		lvs.SetWorkers(1)
+		var lacc [3][]float64
+		for d := 0; d < 3; d++ {
+			lacc[d] = make([]float64, b.G.NCells())
+			for cc := range lacc[d] {
+				lacc[d][cc] = accVal[d]
+			}
+		}
+		if err := lvs.KickHalf(dt, lacc); err != nil {
+			return err
+		}
+		if err := b.Drift(dt, a); err != nil {
+			return err
+		}
+		if err := lvs.KickHalf(dt, lacc); err != nil {
+			return err
+		}
+		out, err := b.GatherDensity()
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			rho = out
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for _, v := range mRef.Density {
+		mean += v
+	}
+	mean /= float64(len(mRef.Density))
+	for i := range rho {
+		if d := math.Abs(rho[i] - mRef.Density[i]); d > 1e-5*mean {
+			t.Fatalf("cell %d: distributed %v vs serial %v", i, rho[i], mRef.Density[i])
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package decomp
+
+import (
+	"fmt"
+
+	"vlasov6d/internal/fft"
+	"vlasov6d/internal/mpisim"
+)
+
+// SlabFFT is the distributed 3D FFT used by the PM solver: the global
+// nx×ny×nz complex field is decomposed into x-slabs (rank r owns
+// nx/P contiguous x-planes). Forward() transforms the y and z axes locally,
+// redistributes the data into y-slabs with an all-to-all (the counterpart of
+// the paper's 3D→2D layout exchange into the SSL II FFT), transforms x, and
+// redistributes back, so the caller always sees x-slab layout.
+type SlabFFT struct {
+	comm *mpisim.Comm
+	n    [3]int
+	p    int // world size
+	lx   int // local x extent (n[0]/p)
+	ly   int // local y extent for the transposed layout (n[1]/p)
+}
+
+// NewSlabFFT validates divisibility of the x and y extents by the world
+// size.
+func NewSlabFFT(comm *mpisim.Comm, n [3]int) (*SlabFFT, error) {
+	p := comm.Size()
+	if n[0]%p != 0 || n[1]%p != 0 {
+		return nil, fmt.Errorf("decomp: dims %v not divisible by %d ranks", n, p)
+	}
+	for d := 0; d < 3; d++ {
+		if n[d] < 1 {
+			return nil, fmt.Errorf("decomp: invalid dims %v", n)
+		}
+	}
+	return &SlabFFT{comm: comm, n: n, p: p, lx: n[0] / p, ly: n[1] / p}, nil
+}
+
+// LocalLen returns the slab buffer length: lx·ny·nz.
+func (s *SlabFFT) LocalLen() int { return s.lx * s.n[1] * s.n[2] }
+
+// Forward transforms the local x-slab in place.
+func (s *SlabFFT) Forward(slab []complex128) error { return s.transform(slab, true) }
+
+// Inverse applies the normalised inverse transform in place.
+func (s *SlabFFT) Inverse(slab []complex128) error { return s.transform(slab, false) }
+
+func (s *SlabFFT) transform(slab []complex128, fwd bool) error {
+	if len(slab) != s.LocalLen() {
+		return fmt.Errorf("decomp: slab length %d != %d", len(slab), s.LocalLen())
+	}
+	ny, nz := s.n[1], s.n[2]
+	// Local y and z transforms for each owned x-plane.
+	planYZ, err := fft.NewFFT3(1, ny, nz)
+	if err != nil {
+		return err
+	}
+	for x := 0; x < s.lx; x++ {
+		pl := slab[x*ny*nz : (x+1)*ny*nz]
+		if fwd {
+			err = planYZ.Forward(pl)
+		} else {
+			err = planYZ.Inverse(pl)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// Redistribute to y-slabs: rank q receives my x-range for its y-range.
+	yslab, err := s.toYSlabs(slab)
+	if err != nil {
+		return err
+	}
+	// Transform x on full lines: layout [ly][nx][nz] with x contiguous in
+	// the middle — gather lines along x (stride nz).
+	nx := s.n[0]
+	plan, err := fft.NewPlan(nx)
+	if err != nil {
+		return err
+	}
+	line := make([]complex128, nx)
+	for y := 0; y < s.ly; y++ {
+		for z := 0; z < nz; z++ {
+			base := y*nx*nz + z
+			for x := 0; x < nx; x++ {
+				line[x] = yslab[base+x*nz]
+			}
+			if fwd {
+				plan.Forward(line)
+			} else {
+				plan.Inverse(line)
+			}
+			for x := 0; x < nx; x++ {
+				yslab[base+x*nz] = line[x]
+			}
+		}
+	}
+	// Back to x-slabs.
+	return s.toXSlabs(yslab, slab)
+}
+
+// toYSlabs exchanges the x-slab into a y-slab: result layout [ly][nx][nz].
+func (s *SlabFFT) toYSlabs(slab []complex128) ([]complex128, error) {
+	ny, nz := s.n[1], s.n[2]
+	send := make([][]float64, s.p)
+	for q := 0; q < s.p; q++ {
+		// Block destined for rank q: my x-range × q's y-range × all z,
+		// packed as [lx][ly][nz] complex → interleaved float64.
+		buf := make([]float64, 2*s.lx*s.ly*nz)
+		o := 0
+		for x := 0; x < s.lx; x++ {
+			for y := q * s.ly; y < (q+1)*s.ly; y++ {
+				base := (x*ny + y) * nz
+				for z := 0; z < nz; z++ {
+					c := slab[base+z]
+					buf[o] = real(c)
+					buf[o+1] = imag(c)
+					o += 2
+				}
+			}
+		}
+		send[q] = buf
+	}
+	recv, err := s.comm.Alltoall(send)
+	if err != nil {
+		return nil, err
+	}
+	nx := s.n[0]
+	out := make([]complex128, s.ly*nx*nz)
+	for q := 0; q < s.p; q++ {
+		buf := recv[q]
+		o := 0
+		for xl := 0; xl < s.lx; xl++ {
+			x := q*s.lx + xl
+			for yl := 0; yl < s.ly; yl++ {
+				base := (yl*nx + x) * nz
+				for z := 0; z < nz; z++ {
+					out[base+z] = complex(buf[o], buf[o+1])
+					o += 2
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// toXSlabs is the inverse redistribution: y-slab [ly][nx][nz] → x-slab
+// [lx][ny][nz] written into dst.
+func (s *SlabFFT) toXSlabs(yslab []complex128, dst []complex128) error {
+	ny, nz := s.n[1], s.n[2]
+	nx := s.n[0]
+	send := make([][]float64, s.p)
+	for q := 0; q < s.p; q++ {
+		buf := make([]float64, 2*s.lx*s.ly*nz)
+		o := 0
+		for xl := 0; xl < s.lx; xl++ {
+			x := q*s.lx + xl
+			for yl := 0; yl < s.ly; yl++ {
+				base := (yl*nx + x) * nz
+				for z := 0; z < nz; z++ {
+					c := yslab[base+z]
+					buf[o] = real(c)
+					buf[o+1] = imag(c)
+					o += 2
+				}
+			}
+		}
+		send[q] = buf
+	}
+	recv, err := s.comm.Alltoall(send)
+	if err != nil {
+		return err
+	}
+	for q := 0; q < s.p; q++ {
+		buf := recv[q]
+		o := 0
+		for x := 0; x < s.lx; x++ {
+			for yl := 0; yl < s.ly; yl++ {
+				y := q*s.ly + yl
+				base := (x*ny + y) * nz
+				for z := 0; z < nz; z++ {
+					dst[base+z] = complex(buf[o], buf[o+1])
+					o += 2
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+// Package fft provides the fast Fourier transforms required by the particle-
+// mesh gravity solver: an iterative radix-2 complex FFT, a Bluestein fallback
+// for arbitrary lengths (the paper's grids are 96·2ᵏ per side, which are not
+// powers of two), and cache-friendly parallel 3D transforms.
+//
+// The paper offloads this to the Fujitsu SSL II 2D-decomposed FFT; here the
+// transform is our own, and the distributed-memory version in package decomp
+// reproduces the 3D→2D data-layout exchange the paper describes.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Plan caches the twiddle factors and scratch buffers for complex transforms
+// of a fixed length n. A Plan is not safe for concurrent use; callers that
+// transform lines in parallel create one Plan per worker.
+type Plan struct {
+	n       int
+	pow2    bool
+	twiddle []complex128 // radix-2 twiddles, size n/2 (pow2 only)
+	rev     []int        // bit-reversal permutation (pow2 only)
+
+	// Bluestein machinery (non-power-of-two lengths).
+	m     int          // power-of-two length ≥ 2n-1
+	chirp []complex128 // e^{-iπk²/n}, length n
+	bfft  *Plan        // inner power-of-two plan of length m
+	bKern []complex128 // FFT of the chirp kernel, length m
+	scrA  []complex128
+	scrB  []complex128
+}
+
+// NewPlan creates a transform plan for length n ≥ 1.
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fft: invalid length %d", n)
+	}
+	p := &Plan{n: n}
+	if n&(n-1) == 0 {
+		p.pow2 = true
+		p.twiddle = make([]complex128, n/2)
+		for k := range p.twiddle {
+			ang := -2 * math.Pi * float64(k) / float64(n)
+			p.twiddle[k] = cmplx.Exp(complex(0, ang))
+		}
+		p.rev = bitRevTable(n)
+		return p, nil
+	}
+	// Bluestein: convolve with a chirp on a power-of-two length m ≥ 2n-1.
+	m := 1 << bits.Len(uint(2*n-2))
+	inner, err := NewPlan(m)
+	if err != nil {
+		return nil, err
+	}
+	p.m = m
+	p.bfft = inner
+	p.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k² mod 2n avoids precision loss for large k.
+		k2 := (int64(k) * int64(k)) % int64(2*n)
+		ang := -math.Pi * float64(k2) / float64(n)
+		p.chirp[k] = cmplx.Exp(complex(0, ang))
+	}
+	kern := make([]complex128, m)
+	kern[0] = cmplx.Conj(p.chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(p.chirp[k])
+		kern[k] = c
+		kern[m-k] = c
+	}
+	inner.forwardPow2(kern)
+	p.bKern = kern
+	p.scrA = make([]complex128, m)
+	p.scrB = make([]complex128, m)
+	return p, nil
+}
+
+// Len returns the transform length.
+func (p *Plan) Len() int { return p.n }
+
+// Forward computes the in-place forward DFT
+// X[k] = Σ_j x[j]·e^{-2πi jk/n}. len(x) must equal Len().
+func (p *Plan) Forward(x []complex128) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: length mismatch %d != %d", len(x), p.n))
+	}
+	if p.pow2 {
+		p.forwardPow2(x)
+		return
+	}
+	p.bluestein(x)
+}
+
+// Inverse computes the in-place inverse DFT including the 1/n normalisation.
+func (p *Plan) Inverse(x []complex128) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: length mismatch %d != %d", len(x), p.n))
+	}
+	// IFFT(x) = conj(FFT(conj(x)))/n.
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	p.Forward(x)
+	inv := 1 / float64(p.n)
+	for i := range x {
+		x[i] = complex(real(x[i])*inv, -imag(x[i])*inv)
+	}
+}
+
+// forwardPow2 is the iterative Cooley-Tukey radix-2 DIT transform.
+func (p *Plan) forwardPow2(x []complex128) {
+	n := len(x)
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				w := p.twiddle[tw]
+				t := w * x[k+half]
+				x[k+half] = x[k] - t
+				x[k] = x[k] + t
+				tw += step
+			}
+		}
+	}
+}
+
+// bluestein evaluates an arbitrary-length DFT as a chirp-z convolution.
+func (p *Plan) bluestein(x []complex128) {
+	n, m := p.n, p.m
+	a, b := p.scrA, p.scrB
+	for i := range a {
+		a[i] = 0
+	}
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * p.chirp[k]
+	}
+	p.bfft.forwardPow2(a)
+	for i := 0; i < m; i++ {
+		b[i] = a[i] * p.bKern[i]
+	}
+	// Inverse of the inner pow2 transform.
+	for i := range b {
+		b[i] = cmplx.Conj(b[i])
+	}
+	p.bfft.forwardPow2(b)
+	inv := 1 / float64(m)
+	for k := 0; k < n; k++ {
+		v := complex(real(b[k])*inv, -imag(b[k])*inv)
+		x[k] = v * p.chirp[k]
+	}
+}
+
+func bitRevTable(n int) []int {
+	logn := bits.TrailingZeros(uint(n))
+	rev := make([]int, n)
+	for i := range rev {
+		rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - logn))
+	}
+	return rev
+}

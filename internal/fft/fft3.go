@@ -1,0 +1,162 @@
+package fft
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// FFT3 performs in-place 3D complex transforms on a dense row-major array
+// with index (ix·ny + iy)·nz + iz. Lines along each axis are transformed by a
+// pool of workers, each with its own Plan, mirroring the thread-parallel
+// per-CMG FFT of the paper's PM solver.
+type FFT3 struct {
+	nx, ny, nz int
+	workers    int
+}
+
+// NewFFT3 creates a 3D transform descriptor for an nx×ny×nz array.
+func NewFFT3(nx, ny, nz int) (*FFT3, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("fft: invalid dims %dx%dx%d", nx, ny, nz)
+	}
+	return &FFT3{nx: nx, ny: ny, nz: nz, workers: runtime.GOMAXPROCS(0)}, nil
+}
+
+// SetWorkers overrides the worker count (minimum 1); used by tests and by
+// the machine model to pin parallelism.
+func (f *FFT3) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	f.workers = w
+}
+
+// Dims returns the grid dimensions.
+func (f *FFT3) Dims() (nx, ny, nz int) { return f.nx, f.ny, f.nz }
+
+// Forward computes the 3D forward DFT in place.
+func (f *FFT3) Forward(data []complex128) error { return f.transform(data, true) }
+
+// Inverse computes the normalised 3D inverse DFT in place.
+func (f *FFT3) Inverse(data []complex128) error { return f.transform(data, false) }
+
+func (f *FFT3) transform(data []complex128, fwd bool) error {
+	if len(data) != f.nx*f.ny*f.nz {
+		return fmt.Errorf("fft: data length %d != %d", len(data), f.nx*f.ny*f.nz)
+	}
+	// z-lines are contiguous; x and y lines are gathered into per-worker
+	// scratch (the software analogue of the paper's load-and-transpose).
+	f.axisZ(data, fwd)
+	f.axisY(data, fwd)
+	f.axisX(data, fwd)
+	return nil
+}
+
+// parallelLines runs fn(worker, line) for line in [0, lines).
+func (f *FFT3) parallelLines(lines int, fn func(w, line int)) {
+	nw := f.workers
+	if nw > lines {
+		nw = lines
+	}
+	if nw <= 1 {
+		for l := 0; l < lines; l++ {
+			fn(0, l)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (lines + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > lines {
+			hi = lines
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for l := lo; l < hi; l++ {
+				fn(w, l)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+func (f *FFT3) axisZ(data []complex128, fwd bool) {
+	lines := f.nx * f.ny
+	plans := f.makePlans(f.nz)
+	f.parallelLines(lines, func(w, l int) {
+		seg := data[l*f.nz : (l+1)*f.nz]
+		if fwd {
+			plans[w].Forward(seg)
+		} else {
+			plans[w].Inverse(seg)
+		}
+	})
+}
+
+func (f *FFT3) axisY(data []complex128, fwd bool) {
+	lines := f.nx * f.nz
+	plans := f.makePlans(f.ny)
+	bufs := make([][]complex128, f.workers)
+	for i := range bufs {
+		bufs[i] = make([]complex128, f.ny)
+	}
+	f.parallelLines(lines, func(w, l int) {
+		ix, iz := l/f.nz, l%f.nz
+		base := ix*f.ny*f.nz + iz
+		buf := bufs[w]
+		for iy := 0; iy < f.ny; iy++ {
+			buf[iy] = data[base+iy*f.nz]
+		}
+		if fwd {
+			plans[w].Forward(buf)
+		} else {
+			plans[w].Inverse(buf)
+		}
+		for iy := 0; iy < f.ny; iy++ {
+			data[base+iy*f.nz] = buf[iy]
+		}
+	})
+}
+
+func (f *FFT3) axisX(data []complex128, fwd bool) {
+	lines := f.ny * f.nz
+	plans := f.makePlans(f.nx)
+	bufs := make([][]complex128, f.workers)
+	for i := range bufs {
+		bufs[i] = make([]complex128, f.nx)
+	}
+	stride := f.ny * f.nz
+	f.parallelLines(lines, func(w, l int) {
+		buf := bufs[w]
+		for ix := 0; ix < f.nx; ix++ {
+			buf[ix] = data[l+ix*stride]
+		}
+		if fwd {
+			plans[w].Forward(buf)
+		} else {
+			plans[w].Inverse(buf)
+		}
+		for ix := 0; ix < f.nx; ix++ {
+			data[l+ix*stride] = buf[ix]
+		}
+	})
+}
+
+func (f *FFT3) makePlans(n int) []*Plan {
+	plans := make([]*Plan, f.workers)
+	for i := range plans {
+		p, err := NewPlan(n)
+		if err != nil {
+			// NewFFT3 validated dims > 0, so this cannot happen.
+			panic(err)
+		}
+		plans[i] = p
+	}
+	return plans
+}

@@ -1,0 +1,595 @@
+// Package hybrid couples the six-dimensional Vlasov solver (massive
+// neutrinos) with the TreePM N-body solver (CDM) into the paper's hybrid
+// simulation (§5.1.2): both components source one gravitational potential —
+// the CIC-deposited particle density plus the velocity-space moment of f on
+// a shared PM mesh — and both are advanced through the same kick-drift-kick
+// cycle in cosmic time with comoving coordinates and canonical velocities
+// u = a²ẋ.
+//
+// Per-step wall-clock time is accounted separately for the Vlasov, tree, PM
+// and moment phases, mirroring the decomposition of the paper's Fig. 7, and
+// feeds the machine model that reproduces Tables 3–4.
+package hybrid
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"vlasov6d/internal/cosmo"
+	"vlasov6d/internal/ic"
+	"vlasov6d/internal/nbody"
+	"vlasov6d/internal/phase"
+	"vlasov6d/internal/poisson"
+	"vlasov6d/internal/tree"
+	"vlasov6d/internal/vlasov"
+)
+
+// Config assembles a hybrid run. The paper's ratios are the defaults: the
+// PM mesh is PMFactor× finer than the Vlasov spatial grid per side
+// (N_PM = 3³·N_x when N_CDM = 9³·N_x and N_PM = N_CDM/3³), and the velocity
+// grid spans UMaxFactor Fermi-Dirac thermal scales.
+type Config struct {
+	Par cosmo.Params
+	// Box is the comoving box size (h⁻¹Mpc).
+	Box float64
+	// NGrid is the Vlasov spatial grid per side (N_x^{1/3}).
+	NGrid int
+	// NU is the velocity grid per side (paper: 64).
+	NU int
+	// NPartSide is the CDM particle count per side (paper: 9·NGrid).
+	NPartSide int
+	// PMFactor is the PM-mesh refinement over the Vlasov grid (paper: 3).
+	PMFactor int
+	// PMMesh overrides the PM mesh side directly (0 = derive from
+	// NGrid·PMFactor, or NPartSide/3 in NoNeutrino mode).
+	PMMesh int
+	// UMaxFactor sets UMax = UMaxFactor·u_T (default 12; the FD tail holds
+	// ~1e-3 of the mass beyond 12 u_T).
+	UMaxFactor float64
+	// Scheme names the Vlasov advection scheme (default "slmpp5").
+	Scheme string
+	// Theta is the tree opening angle (default 0.5).
+	Theta float64
+	// CFLX, CFLU are the Vlasov CFL targets (default 0.4 each).
+	CFLX, CFLU float64
+	// MaxDLnA caps the expansion per step (default 0.02).
+	MaxDLnA float64
+	// Seed feeds the initial-condition generator.
+	Seed int64
+	// NoTree disables the short-range force (PM-only N-body).
+	NoTree bool
+	// NoNeutrino disables the Vlasov component entirely (pure N-body
+	// control run).
+	NoNeutrino bool
+	// NuParticles switches the neutrino component from the Vlasov grid to
+	// TianNu-style particles (the §5.4 baseline): NNuSide³ particles with
+	// Fermi-Dirac thermal velocities, evolved with PM-only gravity.
+	NuParticles bool
+	// NNuSide is the neutrino particle count per side (paper: 2·N_CDM side,
+	// i.e. 8× the CDM count; default 2·NPartSide).
+	NNuSide int
+}
+
+func (c *Config) setDefaults() error {
+	if err := c.Par.Validate(); err != nil {
+		return err
+	}
+	if c.Box <= 0 {
+		return fmt.Errorf("hybrid: invalid box %v", c.Box)
+	}
+	if !c.NoNeutrino {
+		if c.NGrid < 6 {
+			return fmt.Errorf("hybrid: NGrid %d < 6 (SL-MPP5 stencil)", c.NGrid)
+		}
+		if c.NU < 6 {
+			return fmt.Errorf("hybrid: NU %d < 6", c.NU)
+		}
+	}
+	if c.NPartSide < 2 {
+		return fmt.Errorf("hybrid: NPartSide %d < 2", c.NPartSide)
+	}
+	if c.PMFactor < 1 {
+		c.PMFactor = 3
+	}
+	if c.UMaxFactor <= 0 {
+		c.UMaxFactor = 12
+	}
+	if c.Scheme == "" {
+		c.Scheme = "slmpp5"
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.5
+	}
+	if c.CFLX <= 0 {
+		c.CFLX = 0.4
+	}
+	if c.CFLU <= 0 {
+		c.CFLU = 0.4
+	}
+	if c.MaxDLnA <= 0 {
+		c.MaxDLnA = 0.02
+	}
+	if c.NuParticles {
+		if c.NoNeutrino {
+			return fmt.Errorf("hybrid: NuParticles and NoNeutrino are exclusive")
+		}
+		if c.NNuSide == 0 {
+			c.NNuSide = 2 * c.NPartSide
+		}
+		if c.NNuSide < 2 {
+			return fmt.Errorf("hybrid: NNuSide %d < 2", c.NNuSide)
+		}
+	}
+	return nil
+}
+
+// Timings accumulates wall-clock time per simulation part (the paper's
+// Fig. 7 decomposition).
+type Timings struct {
+	Vlasov  time.Duration
+	Tree    time.Duration
+	PM      time.Duration
+	Moments time.Duration
+	Total   time.Duration
+	Steps   int
+}
+
+// Simulation is a live hybrid run.
+type Simulation struct {
+	Cfg  Config
+	Grid *phase.Grid // nil when NoNeutrino or NuParticles
+	Part *nbody.Particles
+	// NuPart holds the particle-sampled neutrinos in NuParticles mode.
+	NuPart *nbody.Particles
+	VSol   *vlasov.Solver
+	PM     *poisson.Solver
+
+	A    float64 // current scale factor
+	Time float64 // cosmic time, internal units
+	Tim  Timings
+
+	pmMesh    [3]int
+	rs        float64 // TreePM split scale
+	soft      float64
+	rhoPM     []float64 // scratch: total density on PM mesh
+	phiLong   []float64
+	phiFull   []float64
+	accCell   [3][]float64 // Vlasov-grid accelerations
+	accPart   [3][]float64 // particle accelerations
+	accNuPart [3][]float64 // neutrino-particle accelerations (baseline mode)
+	uT        float64
+	gen       *ic.Generator
+}
+
+// New builds a simulation and generates initial conditions at scale factor
+// aInit.
+func New(cfg Config, aInit float64) (*Simulation, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if aInit <= 0 || aInit > 1 {
+		return nil, fmt.Errorf("hybrid: invalid initial scale factor %v", aInit)
+	}
+	gen, err := ic.NewGenerator(cfg.Par, cfg.Box, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulation{Cfg: cfg, A: aInit, gen: gen}
+	s.Time = cfg.Par.CosmicTime(aInit)
+	s.uT = gen.ThermalScale()
+
+	// PM mesh: refinement of the Vlasov grid (or of the particle lattice /
+	// 3 when the Vlasov part is disabled, the paper's N_PM = N_CDM/3³ rule).
+	nPM := cfg.NGrid * cfg.PMFactor
+	if cfg.NoNeutrino {
+		nPM = cfg.NPartSide / 3
+		if nPM < 4 {
+			nPM = 4
+		}
+	}
+	if cfg.PMMesh > 0 {
+		nPM = cfg.PMMesh
+	}
+	s.pmMesh = [3]int{nPM, nPM, nPM}
+	pm, err := poisson.NewSolver(s.pmMesh, [3]float64{cfg.Box, cfg.Box, cfg.Box})
+	if err != nil {
+		return nil, err
+	}
+	s.PM = pm
+	cell := cfg.Box / float64(nPM)
+	s.rs = 1.25 * cell
+	s.soft = cell / 20
+	// The tree cutoff 4.5·r_s must fit inside the half-box for the
+	// minimum-image walk; on very coarse PM meshes fall back to pure PM
+	// (consistent: NoTree solves the unfiltered potential).
+	if 4.5*s.rs > cfg.Box/2 {
+		s.Cfg.NoTree = true
+	}
+
+	// Components.
+	if cfg.NuParticles {
+		nuP, err := gen.NeutrinoParticles(cfg.NNuSide, aInit)
+		if err != nil {
+			return nil, err
+		}
+		s.NuPart = nuP
+		for d := 0; d < 3; d++ {
+			s.accNuPart[d] = make([]float64, nuP.N)
+		}
+	} else if !cfg.NoNeutrino {
+		umax := cfg.UMaxFactor * s.uT
+		g, err := phase.New(cfg.NGrid, cfg.NGrid, cfg.NGrid,
+			[3]int{cfg.NU, cfg.NU, cfg.NU},
+			[3]float64{cfg.Box, cfg.Box, cfg.Box}, umax)
+		if err != nil {
+			return nil, err
+		}
+		if err := gen.FillNeutrinoGrid(g, aInit); err != nil {
+			return nil, err
+		}
+		s.Grid = g
+		vs, err := vlasov.New(g, cfg.Scheme)
+		if err != nil {
+			return nil, err
+		}
+		s.VSol = vs
+		ncell := g.NCells()
+		for d := 0; d < 3; d++ {
+			s.accCell[d] = make([]float64, ncell)
+		}
+	}
+	part, err := gen.CDMParticles(cfg.NPartSide, aInit)
+	if err != nil {
+		return nil, err
+	}
+	s.Part = part
+	for d := 0; d < 3; d++ {
+		s.accPart[d] = make([]float64, part.N)
+	}
+	s.rhoPM = make([]float64, pm.Size())
+	s.phiLong = make([]float64, pm.Size())
+	s.phiFull = make([]float64, pm.Size())
+	return s, nil
+}
+
+// NeutrinoDensityPM returns the neutrino density moment resampled onto the
+// PM mesh (replication: density is intensive), or nil without neutrinos.
+// The moment computation is charged to the Moments timer.
+func (s *Simulation) NeutrinoDensityPM() []float64 {
+	if s.Grid == nil {
+		return nil
+	}
+	t0 := time.Now()
+	m := s.Grid.ComputeMoments()
+	s.Tim.Moments += time.Since(t0)
+	r := s.pmMesh[0] / s.Grid.NX
+	out := make([]float64, s.PM.Size())
+	nx, ny, nz := s.Grid.NX, s.Grid.NY, s.Grid.NZ
+	npmY, npmZ := s.pmMesh[1], s.pmMesh[2]
+	for ix := 0; ix < nx; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			for iz := 0; iz < nz; iz++ {
+				v := m.Density[(ix*ny+iy)*nz+iz]
+				for a := 0; a < r; a++ {
+					for b := 0; b < r; b++ {
+						base := ((ix*r+a)*npmY + iy*r + b) * npmZ
+						for c := 0; c < r; c++ {
+							out[base+iz*r+c] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// computeForces fills accCell (Vlasov-grid acceleration from the full
+// potential) and accPart (particle acceleration: filtered PM + tree).
+func (s *Simulation) computeForces() error {
+	a := s.A
+	coeff := s.Cfg.Par.PoissonCoeff(a)
+
+	// Shared density mesh.
+	t0 := time.Now()
+	for i := range s.rhoPM {
+		s.rhoPM[i] = 0
+	}
+	if err := s.Part.CICDeposit(s.rhoPM, s.pmMesh); err != nil {
+		return err
+	}
+	if s.NuPart != nil {
+		if err := s.NuPart.CICDeposit(s.rhoPM, s.pmMesh); err != nil {
+			return err
+		}
+	}
+	if nu := s.NeutrinoDensityPM(); nu != nil {
+		for i, v := range nu {
+			s.rhoPM[i] += v
+		}
+	}
+
+	// Full (unfiltered) potential → Vlasov-grid acceleration and (in the
+	// baseline mode) the PM-only neutrino-particle acceleration.
+	if s.Grid != nil || s.NuPart != nil {
+		if _, err := s.PM.SolveFiltered(s.rhoPM, coeff, 0, s.phiFull); err != nil {
+			return err
+		}
+		meshAcc, err := s.PM.Accel(s.phiFull)
+		if err != nil {
+			return err
+		}
+		if s.Grid != nil {
+			s.downsampleAccel(meshAcc)
+		}
+		if s.NuPart != nil {
+			for d := 0; d < 3; d++ {
+				if err := s.NuPart.CICInterp(meshAcc[d], s.pmMesh, s.accNuPart[d]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Filtered potential → particle PM force.
+	rsUse := s.rs
+	if s.Cfg.NoTree {
+		rsUse = 0
+	}
+	if _, err := s.PM.SolveFiltered(s.rhoPM, coeff, rsUse, s.phiLong); err != nil {
+		return err
+	}
+	meshAccL, err := s.PM.Accel(s.phiLong)
+	if err != nil {
+		return err
+	}
+	for d := 0; d < 3; d++ {
+		if err := s.Part.CICInterp(meshAccL[d], s.pmMesh, s.accPart[d]); err != nil {
+			return err
+		}
+	}
+	s.Tim.PM += time.Since(t0)
+
+	// Tree short-range for particles.
+	if !s.Cfg.NoTree {
+		t1 := time.Now()
+		tr, err := tree.Build(s.Part, tree.Options{
+			Theta: s.Cfg.Theta, RSplit: s.rs, Soft: s.soft,
+		})
+		if err != nil {
+			return err
+		}
+		var short [3][]float64
+		for d := 0; d < 3; d++ {
+			short[d] = make([]float64, s.Part.N)
+		}
+		if err := tr.AccelAll(short); err != nil {
+			return err
+		}
+		inva := 1 / a
+		for d := 0; d < 3; d++ {
+			av, sv := s.accPart[d], short[d]
+			for i := range av {
+				av[i] += inva * sv[i]
+			}
+		}
+		s.Tim.Tree += time.Since(t1)
+	}
+	return nil
+}
+
+// downsampleAccel block-averages the PM-mesh acceleration onto the Vlasov
+// spatial grid.
+func (s *Simulation) downsampleAccel(meshAcc [3][]float64) {
+	g := s.Grid
+	r := s.pmMesh[0] / g.NX
+	inv := 1 / float64(r*r*r)
+	npmY, npmZ := s.pmMesh[1], s.pmMesh[2]
+	for d := 0; d < 3; d++ {
+		dst := s.accCell[d]
+		src := meshAcc[d]
+		for ix := 0; ix < g.NX; ix++ {
+			for iy := 0; iy < g.NY; iy++ {
+				for iz := 0; iz < g.NZ; iz++ {
+					sum := 0.0
+					for a := 0; a < r; a++ {
+						for b := 0; b < r; b++ {
+							base := ((ix*r+a)*npmY + iy*r + b) * npmZ
+							for c := 0; c < r; c++ {
+								sum += src[base+iz*r+c]
+							}
+						}
+					}
+					dst[(ix*g.NY+iy)*g.NZ+iz] = sum * inv
+				}
+			}
+		}
+	}
+}
+
+// SuggestDT picks the global time step: Vlasov CFL targets, a particle
+// displacement cap of one PM cell, and the expansion cap MaxDLnA.
+func (s *Simulation) SuggestDT() float64 {
+	a := s.A
+	dt := math.Inf(1)
+	if s.VSol != nil {
+		if d := s.VSol.SuggestDT(a, s.accCell, s.Cfg.CFLX, s.Cfg.CFLU); d < dt {
+			dt = d
+		}
+	}
+	// Particle CFL: max |u|·dt/a² ≤ PM cell. The thermal neutrino particles
+	// are the hot component and usually set this limit in baseline mode.
+	umax := 0.0
+	for d := 0; d < 3; d++ {
+		for _, v := range s.Part.Vel[d] {
+			if av := math.Abs(v); av > umax {
+				umax = av
+			}
+		}
+		if s.NuPart != nil {
+			for _, v := range s.NuPart.Vel[d] {
+				if av := math.Abs(v); av > umax {
+					umax = av
+				}
+			}
+		}
+	}
+	if umax > 0 {
+		cell := s.Cfg.Box / float64(s.pmMesh[0])
+		if d := cell * a * a / umax; d < dt {
+			dt = d
+		}
+	}
+	// Expansion cap: dt ≤ MaxDLnA / H(a).
+	if d := s.Cfg.MaxDLnA / s.Cfg.Par.Hubble(a); d < dt {
+		dt = d
+	}
+	return dt
+}
+
+// Step advances the whole coupled system by dt using kick-drift-kick with a
+// force refresh at the end of the drift (standard leapfrog).
+func (s *Simulation) Step(dt float64) error {
+	t0 := time.Now()
+	if err := s.computeForces(); err != nil {
+		return err
+	}
+	// Half kicks.
+	if err := s.kickAll(dt); err != nil {
+		return err
+	}
+	// Drifts at the midpoint scale factor.
+	tMid := s.Time + dt/2
+	aMid := s.Cfg.Par.ScaleFactorAt(tMid)
+	tv := time.Now()
+	if s.VSol != nil {
+		if err := s.VSol.Drift(dt, aMid); err != nil {
+			return err
+		}
+		s.Tim.Vlasov += time.Since(tv)
+	}
+	s.Part.Drift(dt, aMid)
+	if s.NuPart != nil {
+		s.NuPart.Drift(dt, aMid)
+	}
+	// Advance time, refresh forces, second half kick.
+	s.Time += dt
+	s.A = s.Cfg.Par.ScaleFactorAt(s.Time)
+	if err := s.computeForces(); err != nil {
+		return err
+	}
+	if err := s.kickAll(dt); err != nil {
+		return err
+	}
+	s.Tim.Steps++
+	s.Tim.Total += time.Since(t0)
+	return nil
+}
+
+// kickAll applies half-kicks (dt/2) to both components with current forces.
+func (s *Simulation) kickAll(dt float64) error {
+	if s.VSol != nil {
+		tv := time.Now()
+		if err := s.VSol.KickHalf(dt, s.accCell); err != nil {
+			return err
+		}
+		s.Tim.Vlasov += time.Since(tv)
+	}
+	if s.NuPart != nil {
+		if err := s.NuPart.Kick(dt/2, s.accNuPart); err != nil {
+			return err
+		}
+	}
+	return s.Part.Kick(dt/2, s.accPart)
+}
+
+// Evolve advances the simulation to scale factor aEnd or maxSteps,
+// whichever comes first, invoking cb (when non-nil) after every step.
+func (s *Simulation) Evolve(aEnd float64, maxSteps int, cb func(step int, sim *Simulation) error) error {
+	if aEnd <= s.A {
+		return fmt.Errorf("hybrid: aEnd %v ≤ current a %v", aEnd, s.A)
+	}
+	for step := 0; step < maxSteps && s.A < aEnd; step++ {
+		// Forces must exist before the first SuggestDT call.
+		if step == 0 {
+			if err := s.computeForces(); err != nil {
+				return err
+			}
+		}
+		dt := s.SuggestDT()
+		// Do not overshoot aEnd.
+		tEnd := s.Cfg.Par.CosmicTime(aEnd)
+		if s.Time+dt > tEnd {
+			dt = tEnd - s.Time
+		}
+		if dt <= 0 {
+			break
+		}
+		if err := s.Step(dt); err != nil {
+			return err
+		}
+		if cb != nil {
+			if err := cb(step, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TotalMass returns (ν mass, CDM mass) for conservation checks.
+func (s *Simulation) TotalMass() (nu, cdm float64) {
+	if s.Grid != nil {
+		nu = s.Grid.TotalMass()
+	}
+	if s.NuPart != nil {
+		nu = float64(s.NuPart.N) * s.NuPart.Mass
+	}
+	return nu, float64(s.Part.N) * s.Part.Mass
+}
+
+// Redshift returns the current redshift z = 1/a − 1.
+func (s *Simulation) Redshift() float64 { return 1/s.A - 1 }
+
+// Cosmo exposes the parameter set.
+func (s *Simulation) Cosmo() cosmo.Params { return s.Cfg.Par }
+
+// Restore rebuilds a Simulation from a previously saved state: the particle
+// set and (optionally) phase-space grid replace the generated initial
+// conditions, making checkpoint/restart runs possible. The configuration
+// must describe the same discretisation the snapshot was taken with.
+func Restore(cfg Config, a float64, part *nbody.Particles, grid *phase.Grid) (*Simulation, error) {
+	if part == nil {
+		return nil, fmt.Errorf("hybrid: restore needs particles")
+	}
+	cfgNoNu := cfg
+	if grid == nil && !cfg.NuParticles {
+		cfgNoNu.NoNeutrino = true
+	}
+	s, err := New(cfgNoNu, a)
+	if err != nil {
+		return nil, err
+	}
+	if part.N != s.Part.N {
+		return nil, fmt.Errorf("hybrid: snapshot has %d particles, config wants %d", part.N, s.Part.N)
+	}
+	s.Part = part
+	if grid != nil {
+		if s.Grid == nil {
+			return nil, fmt.Errorf("hybrid: config has no Vlasov component for the snapshot grid")
+		}
+		if len(grid.Data) != len(s.Grid.Data) {
+			return nil, fmt.Errorf("hybrid: snapshot grid size %d != config %d", len(grid.Data), len(s.Grid.Data))
+		}
+		s.Grid = grid
+		vs, err := vlasov.New(grid, s.Cfg.Scheme)
+		if err != nil {
+			return nil, err
+		}
+		s.VSol = vs
+	}
+	s.A = a
+	s.Time = cfg.Par.CosmicTime(a)
+	return s, nil
+}

@@ -1,0 +1,396 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"vlasov6d/internal/analysis"
+	"vlasov6d/internal/cosmo"
+	"vlasov6d/internal/nbody"
+)
+
+// smallConfig is a laptop-scale hybrid run: 8³ Vlasov cells × 8³ velocity
+// cells, 8³ particles, 16³ PM mesh.
+func smallConfig() Config {
+	return Config{
+		Par:       cosmo.Planck2015(0.4),
+		Box:       200,
+		NGrid:     8,
+		NU:        8,
+		NPartSide: 8,
+		PMFactor:  2,
+		Seed:      42,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := smallConfig()
+	c.Box = -1
+	if _, err := New(c, 0.1); err == nil {
+		t.Fatal("negative box accepted")
+	}
+	c = smallConfig()
+	c.NGrid = 4
+	if _, err := New(c, 0.1); err == nil {
+		t.Fatal("NGrid < 6 accepted")
+	}
+	c = smallConfig()
+	if _, err := New(c, 0); err == nil {
+		t.Fatal("aInit = 0 accepted")
+	}
+	if _, err := New(c, 2); err == nil {
+		t.Fatal("aInit > 1 accepted")
+	}
+}
+
+func TestNewSetsUpComponents(t *testing.T) {
+	s, err := New(smallConfig(), 0.0909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Grid == nil || s.VSol == nil || s.Part == nil || s.PM == nil {
+		t.Fatal("missing components")
+	}
+	if s.Part.N != 512 {
+		t.Fatalf("particle count %d", s.Part.N)
+	}
+	if s.pmMesh != [3]int{16, 16, 16} {
+		t.Fatalf("PM mesh %v", s.pmMesh)
+	}
+	if math.Abs(s.Redshift()-10) > 0.01 {
+		t.Fatalf("initial redshift %v, want 10", s.Redshift())
+	}
+	// Mean densities: ν mass fraction should match fν = Ων/Ωm.
+	nu, cdm := s.TotalMass()
+	fnu := nu / (nu + cdm)
+	want := s.Cfg.Par.FNu()
+	if math.Abs(fnu-want)/want > 0.02 {
+		t.Fatalf("ν mass fraction %v, want %v", fnu, want)
+	}
+}
+
+func TestNoNeutrinoMode(t *testing.T) {
+	c := smallConfig()
+	c.NoNeutrino = true
+	c.NPartSide = 12
+	s, err := New(c, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Grid != nil || s.VSol != nil {
+		t.Fatal("neutrino component created in NoNeutrino mode")
+	}
+	if s.pmMesh[0] != 4 { // 12/3
+		t.Fatalf("PM mesh %v", s.pmMesh)
+	}
+	if err := s.Step(s.Cfg.Par.CosmicTime(0.1) * 0.01); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepConservesMass(t *testing.T) {
+	s, err := New(smallConfig(), 0.0909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nu0, _ := s.TotalMass()
+	if err := s.computeForces(); err != nil {
+		t.Fatal(err)
+	}
+	dt := s.SuggestDT()
+	for i := 0; i < 2; i++ {
+		if err := s.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nu1, _ := s.TotalMass()
+	if rel := math.Abs(nu1+s.VSol.BoundaryLoss-nu0) / nu0; rel > 1e-4 {
+		t.Fatalf("ν mass drift %v", rel)
+	}
+	if s.A <= 0.0909 {
+		t.Fatalf("scale factor did not advance: %v", s.A)
+	}
+}
+
+func TestStepPreservesPositivity(t *testing.T) {
+	s, err := New(smallConfig(), 0.0909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.computeForces(); err != nil {
+		t.Fatal(err)
+	}
+	dt := s.SuggestDT()
+	for i := 0; i < 2; i++ {
+		if err := s.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mn := s.Grid.MinValue(); mn < 0 {
+		t.Fatalf("negative f: %v", mn)
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	// Total canonical particle momentum should stay near zero (forces are
+	// momentum-conserving; the Vlasov component exchanges momentum with the
+	// particles only through the shared potential, which is small over two
+	// steps from near-homogeneous ICs).
+	s, err := New(smallConfig(), 0.0909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.computeForces(); err != nil {
+		t.Fatal(err)
+	}
+	dt := s.SuggestDT()
+	if err := s.Step(dt); err != nil {
+		t.Fatal(err)
+	}
+	mom := s.Part.TotalMomentum()
+	// Scale: typical |u|·m·N.
+	scale := 0.0
+	for i := 0; i < s.Part.N; i++ {
+		scale += math.Abs(s.Part.Vel[0][i]) * s.Part.Mass
+	}
+	if scale == 0 {
+		t.Skip("zero velocities")
+	}
+	if math.Abs(mom[0])/scale > 0.05 {
+		t.Fatalf("net momentum fraction %v", math.Abs(mom[0])/scale)
+	}
+}
+
+func TestEvolveAdvancesToTarget(t *testing.T) {
+	s, err := New(smallConfig(), 0.0909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := s.Evolve(0.095, 50, func(step int, sim *Simulation) error {
+		calls++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.A < 0.0949 {
+		t.Fatalf("a = %v, want ≈ 0.095", s.A)
+	}
+	if calls == 0 {
+		t.Fatal("callback never invoked")
+	}
+	if s.Tim.Steps != calls {
+		t.Fatalf("timed steps %d != callbacks %d", s.Tim.Steps, calls)
+	}
+	if s.Tim.Vlasov == 0 || s.Tim.PM == 0 {
+		t.Fatal("phase timers not accumulating")
+	}
+	if err := s.Evolve(0.01, 1, nil); err == nil {
+		t.Fatal("backward evolution accepted")
+	}
+}
+
+func TestGravityAmplifiesContrast(t *testing.T) {
+	// Physics: over an expansion interval the CDM density contrast must
+	// grow (gravitational instability), and the neutrino contrast must stay
+	// well below the CDM contrast (free streaming).
+	c := smallConfig()
+	c.Seed = 7
+	s, err := New(c, 0.0909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contrast := func() (cdm, nu float64) {
+		mesh := make([]float64, s.PM.Size())
+		if err := s.Part.CICDeposit(mesh, s.pmMesh); err != nil {
+			t.Fatal(err)
+		}
+		cdm = rmsContrast(mesh)
+		m := s.Grid.ComputeMoments()
+		nu = rmsContrast(m.Density)
+		return cdm, nu
+	}
+	c0, n0 := contrast()
+	if err := s.Evolve(0.14, 200, nil); err != nil {
+		t.Fatal(err)
+	}
+	c1, n1 := contrast()
+	if c1 <= c0 {
+		t.Fatalf("CDM contrast did not grow: %v -> %v", c0, c1)
+	}
+	if n1 >= c1 {
+		t.Fatalf("ν contrast %v not below CDM %v (free streaming)", n1, c1)
+	}
+	_ = n0
+}
+
+func rmsContrast(rho []float64) float64 {
+	mean := 0.0
+	for _, v := range rho {
+		mean += v
+	}
+	mean /= float64(len(rho))
+	if mean == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range rho {
+		d := v/mean - 1
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(rho)))
+}
+
+func TestNuParticlesBaselineMode(t *testing.T) {
+	c := smallConfig()
+	c.NuParticles = true
+	s, err := New(c, 0.0909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Grid != nil || s.VSol != nil {
+		t.Fatal("Vlasov component created in particle-baseline mode")
+	}
+	if s.NuPart == nil || s.NuPart.N != 16*16*16 {
+		t.Fatalf("neutrino particles missing or wrong count")
+	}
+	// Mass fraction still matches fν.
+	nu, cdm := s.TotalMass()
+	fnu := nu / (nu + cdm)
+	if math.Abs(fnu-s.Cfg.Par.FNu())/s.Cfg.Par.FNu() > 0.02 {
+		t.Fatalf("ν mass fraction %v", fnu)
+	}
+	if err := s.computeForces(); err != nil {
+		t.Fatal(err)
+	}
+	dt := s.SuggestDT()
+	if err := s.Step(dt); err != nil {
+		t.Fatal(err)
+	}
+	if s.A <= 0.0909 {
+		t.Fatal("no progress")
+	}
+}
+
+func TestNuParticlesExclusiveWithNoNeutrino(t *testing.T) {
+	c := smallConfig()
+	c.NuParticles = true
+	c.NoNeutrino = true
+	if _, err := New(c, 0.1); err == nil {
+		t.Fatal("exclusive modes accepted")
+	}
+}
+
+func TestLinearGrowthMatchesTheory(t *testing.T) {
+	// Quantitative physics regression: in the linear regime the amplitude
+	// of large-scale density modes grows by D(a1)/D(a0). Evolve a pure-CDM
+	// PM run z = 10 → 5 and compare the lowest-k power ratio with the
+	// growth factor squared.
+	if testing.Short() {
+		t.Skip("multi-second physics run")
+	}
+	c := Config{
+		Par:        cosmo.Planck2015(0.0),
+		Box:        500,
+		NGrid:      8, // unused (NoNeutrino) but validated
+		NU:         8,
+		NPartSide:  16,
+		PMMesh:     32, // fine mesh: a 5³ mesh loses half the k₁ force
+		Seed:       11,
+		NoNeutrino: true,
+		NoTree:     true,
+	}
+	a0, a1 := 1.0/11, 0.2
+	s, err := New(c, a0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowK := func() float64 {
+		mesh := make([]float64, s.PM.Size())
+		if err := s.Part.CICDeposit(mesh, s.pmMesh); err != nil {
+			t.Fatal(err)
+		}
+		_, pk, _, err := analysis.PowerSpectrum(mesh, s.pmMesh[0], c.Box, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pk[0] // lowest-k bin
+	}
+	p0 := lowK()
+	if err := s.Evolve(a1, 100000, nil); err != nil {
+		t.Fatal(err)
+	}
+	p1 := lowK()
+	growth := math.Sqrt(p1 / p0)
+	want := s.Cfg.Par.GrowthFactor(a1) / s.Cfg.Par.GrowthFactor(a0)
+	if math.Abs(growth-want)/want > 0.15 {
+		t.Fatalf("mode growth %v, linear theory %v (%.0f%% off)",
+			growth, want, 100*math.Abs(growth-want)/want)
+	}
+}
+
+func TestRestoreContinuesRun(t *testing.T) {
+	// Reference: one continuous run.
+	cfg := smallConfig()
+	ref, err := New(cfg, 0.0909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.computeForces(); err != nil {
+		t.Fatal(err)
+	}
+	dt := ref.SuggestDT()
+	for i := 0; i < 2; i++ {
+		if err := ref.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpointed: one step, save, restore, one step.
+	s1, err := New(cfg, 0.0909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Step(dt); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Restore(cfg, s1.A, s1.Part, s1.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Step(dt); err != nil {
+		t.Fatal(err)
+	}
+	// The restored run should track the continuous one closely (time
+	// origins differ at round-off through ScaleFactorAt inversion).
+	if math.Abs(s2.A-ref.A) > 1e-6 {
+		t.Fatalf("scale factors diverged: %v vs %v", s2.A, ref.A)
+	}
+	nuRef, _ := ref.TotalMass()
+	nu2, _ := s2.TotalMass()
+	if math.Abs(nu2-nuRef)/nuRef > 1e-3 {
+		t.Fatalf("ν mass diverged: %v vs %v", nu2, nuRef)
+	}
+	for i := 0; i < ref.Part.N; i += 97 {
+		for d := 0; d < 3; d++ {
+			if math.Abs(ref.Part.Pos[d][i]-s2.Part.Pos[d][i]) > 1e-6*cfg.Box {
+				t.Fatalf("particle %d dim %d: %v vs %v", i, d,
+					s2.Part.Pos[d][i], ref.Part.Pos[d][i])
+			}
+		}
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := Restore(cfg, 0.1, nil, nil); err == nil {
+		t.Fatal("nil particles accepted")
+	}
+	s, err := New(cfg, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, _ := nbody.NewParticles(8, 1, [3]float64{200, 200, 200})
+	if _, err := Restore(cfg, 0.1, small, s.Grid); err == nil {
+		t.Fatal("particle count mismatch accepted")
+	}
+}

@@ -1,0 +1,417 @@
+// Package kernel contains the layout-aware advection micro-kernels that
+// reproduce the paper's §5.3 SIMD study (Table 1 and Figures 1–3).
+//
+// The paper's A64FX implementation contrasts three ways of sweeping a 1D
+// advection update through a multi-dimensional array:
+//
+//   - "w/o SIMD": scalar code whose inner loop walks along the advection
+//     axis, making strided memory accesses when that axis is not the fastest
+//     (innermost) one;
+//   - "w/ SIMD": the inner loop runs along the fastest axis so that whole
+//     SIMD vectors are loaded with unit stride (Fig. 1) — impossible when
+//     the advection axis IS the fastest axis, where vectorising across
+//     lines needs strided gathers (Fig. 2);
+//   - "w/ LAT": load-and-transpose — load unit-stride vectors, transpose a
+//     B×B tile in registers (Fig. 3), sweep, and transpose back.
+//
+// Go has no vector intrinsics, but the *memory-system* half of the effect —
+// unit-stride streaming vs. large-stride gathers — is architecture
+// independent, and the Go compiler keeps contiguous inner loops free of
+// bounds checks. The three modes here reproduce the ordering of Table 1
+// (Strided ≪ Contig ≈ LAT) with Go-scale ratios; the Measure harness prints
+// the same rows as the paper's table.
+//
+// All modes compute the identical single-stage conservative semi-Lagrangian
+// fifth-order (CSL5) update
+//
+//	f_i ← f_i − (Φ_{i+1/2} − Φ_{i−1/2}),   Φ = Σ_r a_r(ξ)·f_{i−3+r},
+//
+// on periodic lines, where the five coefficients a_r(ξ) come from the quintic
+// primitive-function reconstruction at CFL fraction ξ ∈ [0,1] — the unlimited
+// linear core of the paper's SL-MPP5 flux (a plain fifth-order
+// method-of-lines flux would be unstable in a single Euler stage, which is
+// precisely the cost problem SL-MPP5 solves). Tests assert bit-level
+// agreement between the modes.
+package kernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mode selects the sweep implementation.
+type Mode int
+
+// The three sweep implementations of §5.3.
+const (
+	// Strided walks the advection axis line by line, gathering each line
+	// with stride `post` ("w/o SIMD").
+	Strided Mode = iota
+	// Contig keeps the innermost loop on the fastest memory axis
+	// ("w/ SIMD"); for a sweep along the fastest axis itself it degrades to
+	// strided gathers across lines, exactly like Fig. 2.
+	Contig
+	// LAT transposes B×B tiles so that sweeps along the fastest axis also
+	// stream with unit stride ("w/ LAT").
+	LAT
+)
+
+// String implements fmt.Stringer using the paper's column headers.
+func (m Mode) String() string {
+	switch m {
+	case Strided:
+		return "w/o SIMD"
+	case Contig:
+		return "w/ SIMD"
+	case LAT:
+		return "w/ LAT"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// TileB is the LAT tile edge, the software analogue of the paper's 16×16
+// register transpose (64 shuffle instructions on SVE).
+const TileB = 16
+
+// FlopsPerCell is the flop count of one fifth-order update per cell
+// (5 multiplies + 4 adds for the flux, 2 for the update, with the left flux
+// reused), used to convert timings into the paper's Gflops metric.
+const FlopsPerCell = 12
+
+// Brick is a dense multi-dimensional array of float32 (the paper's Vlasov
+// arrays are single precision) with row-major layout: the LAST dimension is
+// fastest, matching List 1's per-cell velocity cubes.
+type Brick struct {
+	Dims []int
+	Data []float32
+}
+
+// NewBrick allocates a brick with the given dimensions.
+func NewBrick(dims ...int) (*Brick, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("kernel: no dimensions")
+	}
+	n := 1
+	for _, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("kernel: invalid dim %d", d)
+		}
+		n *= d
+	}
+	return &Brick{Dims: append([]int(nil), dims...), Data: make([]float32, n)}, nil
+}
+
+// Shape3 returns the (pre, n, post) factorisation of the brick around axis:
+// the array is equivalent to a row-major [pre][n][post] view where n is the
+// advected extent.
+func (b *Brick) Shape3(axis int) (pre, n, post int, err error) {
+	if axis < 0 || axis >= len(b.Dims) {
+		return 0, 0, 0, fmt.Errorf("kernel: axis %d out of range", axis)
+	}
+	pre, post = 1, 1
+	for i := 0; i < axis; i++ {
+		pre *= b.Dims[i]
+	}
+	n = b.Dims[axis]
+	for i := axis + 1; i < len(b.Dims); i++ {
+		post *= b.Dims[i]
+	}
+	return pre, n, post, nil
+}
+
+// Sweep applies one periodic fifth-order advection update with CFL c along
+// axis using the requested mode. LAT is only accepted for the fastest axis
+// (post == 1), where it exists to fix the Fig. 2 gather problem.
+func (b *Brick) Sweep(axis int, mode Mode, c float32) error {
+	pre, n, post, err := b.Shape3(axis)
+	if err != nil {
+		return err
+	}
+	if n < 6 {
+		return fmt.Errorf("kernel: axis %d extent %d < 6", axis, n)
+	}
+	if math.IsNaN(float64(c)) || math.IsInf(float64(c), 0) || c < 0 || c > 1 {
+		return fmt.Errorf("kernel: CFL %v outside [0,1] (micro-kernel handles the fractional flux only)", c)
+	}
+	a := cslCoefs(float64(c))
+	switch mode {
+	case Strided:
+		sweepStrided(b.Data, pre, n, post, &a)
+	case Contig:
+		if post > 1 {
+			s := newPlaneScratch(post)
+			for p := 0; p < pre; p++ {
+				updatePlane(b.Data[p*n*post:(p+1)*n*post], n, post, &a, s)
+			}
+		} else {
+			sweepGather(b.Data, pre, n, &a)
+		}
+	case LAT:
+		if post != 1 {
+			return fmt.Errorf("kernel: LAT applies to the fastest axis only")
+		}
+		sweepLAT(b.Data, pre, n, &a)
+	default:
+		return fmt.Errorf("kernel: unknown mode %v", mode)
+	}
+	return nil
+}
+
+// coef5 holds the five CSL5 flux coefficients for a fixed CFL fraction ξ:
+// Φ_{i+1/2} = a[0]f_{i−2} + a[1]f_{i−1} + a[2]f_i + a[3]f_{i+1} + a[4]f_{i+2}.
+type coef5 [5]float32
+
+// cslCoefs derives the coefficients from the quintic Lagrange basis on the
+// primitive function: with t = 3−ξ and basis values ℓ_m(t),
+// a_r = [r ≤ 3] − Σ_{m≥r} ℓ_m(t) for r = 1..5.
+func cslCoefs(xi float64) coef5 {
+	t := 3 - xi
+	var ell [6]float64
+	for m := 0; m < 6; m++ {
+		num, den := 1.0, 1.0
+		for j := 0; j < 6; j++ {
+			if j == m {
+				continue
+			}
+			num *= t - float64(j)
+			den *= float64(m - j)
+		}
+		ell[m] = num / den
+	}
+	var a coef5
+	suffix := 0.0
+	for r := 5; r >= 1; r-- {
+		suffix += ell[r]
+		v := -suffix
+		if r <= 3 {
+			v += 1
+		}
+		a[r-1] = float32(v)
+	}
+	return a
+}
+
+// flux5 evaluates the CSL5 interface flux from the upwind stencil
+// (f_{i−2}, …, f_{i+2}).
+func flux5(a *coef5, fm2, fm1, f0, fp1, fp2 float32) float32 {
+	return a[0]*fm2 + a[1]*fm1 + a[2]*f0 + a[3]*fp1 + a[4]*fp2
+}
+
+// updateLine5 applies the periodic CSL5 update to one line held contiguously
+// in memory.
+func updateLine5(line []float32, a *coef5) {
+	n := len(line)
+	f0orig, f1orig := line[0], line[1]
+	fm2, fm1 := line[n-2], line[n-1]
+	fc, fp1 := line[0], line[1]
+	prev := flux5(a, line[n-3], fm2, fm1, fc, fp1) // Φ_{−1/2}
+	for i := 0; i < n; i++ {
+		var fp2 float32
+		switch {
+		case i+2 < n:
+			fp2 = line[i+2]
+		case i+2 == n:
+			fp2 = f0orig
+		default:
+			fp2 = f1orig
+		}
+		cur := flux5(a, fm2, fm1, fc, fp1, fp2)
+		newv := fc - (cur - prev)
+		fm2, fm1, fc, fp1, prev = fm1, fc, fp1, fp2, cur
+		line[i] = newv
+	}
+}
+
+// sweepStrided is the "w/o SIMD" reference: every line along the advection
+// axis is gathered element by element with stride `post`, updated, and
+// scattered back.
+func sweepStrided(data []float32, pre, n, post int, a *coef5) {
+	line := make([]float32, n)
+	for p := 0; p < pre; p++ {
+		base := p * n * post
+		for q := 0; q < post; q++ {
+			off := base + q
+			for i := 0; i < n; i++ {
+				line[i] = data[off+i*post]
+			}
+			updateLine5(line, a)
+			for i := 0; i < n; i++ {
+				data[off+i*post] = line[i]
+			}
+		}
+	}
+}
+
+// planeChunk caps the column-block width so the flux planes stay
+// cache-resident even for very wide planes (the x/y/z sweeps have widths of
+// 10⁵–10⁶ columns).
+const planeChunk = 2048
+
+// planeScratch holds the per-block flux planes used to update a [n][width]
+// plane in place without copying rows: all interface fluxes of a column
+// block are evaluated from the original data first, then the rows are
+// updated. This keeps every inner loop unit-stride (the Fig. 1 data flow)
+// with zero memmove traffic.
+type planeScratch struct {
+	flux  [][]float32 // flux[i][q] = Φ_{i−1/2} for the block columns
+	width int
+}
+
+func newPlaneScratch(width int) *planeScratch {
+	if width > planeChunk {
+		width = planeChunk
+	}
+	return &planeScratch{width: width}
+}
+
+// ensure sizes the flux planes for (rows n+1) × width.
+func (s *planeScratch) ensure(n, width int) {
+	if len(s.flux) < n+1 || s.width < width {
+		if width < s.width {
+			width = s.width
+		}
+		s.flux = make([][]float32, n+1)
+		for i := range s.flux {
+			s.flux[i] = make([]float32, width)
+		}
+		s.width = width
+	}
+}
+
+// updatePlane advances a row-major [n][width] plane in place, periodic along
+// the row index, tiling over column blocks.
+func updatePlane(buf []float32, n, width int, a *coef5, s *planeScratch) {
+	for col := 0; col < width; col += planeChunk {
+		cw := planeChunk
+		if col+cw > width {
+			cw = width - col
+		}
+		updatePlaneBlock(buf, n, width, col, cw, a, s)
+	}
+}
+
+// updatePlaneBlock updates columns [col, col+cw): first every interface flux
+// of the block is computed from the ORIGINAL rows (Φ_{i−1/2} uses rows
+// i−3 … i+1, matching updateLine5), then each row is updated in place.
+func updatePlaneBlock(buf []float32, n, width, col, cw int, a *coef5, s *planeScratch) {
+	s.ensure(n, cw)
+	row := func(i int) []float32 {
+		if i >= n {
+			i -= n
+		} else if i < 0 {
+			i += n
+		}
+		return buf[i*width+col : i*width+col+cw]
+	}
+	for i := 0; i <= n; i++ {
+		r0, r1, r2, r3, r4 := row(i-3), row(i-2), row(i-1), row(i), row(i+1)
+		fl := s.flux[i][:cw]
+		for q := 0; q < cw; q++ {
+			fl[q] = flux5(a, r0[q], r1[q], r2[q], r3[q], r4[q])
+		}
+	}
+	for i := 0; i < n; i++ {
+		out := row(i)
+		lo := s.flux[i][:cw]
+		hi := s.flux[i+1][:cw]
+		for q := 0; q < cw; q++ {
+			out[q] -= hi[q] - lo[q]
+		}
+	}
+}
+
+// sweepGather is the Fig. 2 path: the sweep runs along the fastest axis, and
+// "vectorising" across TileB lines forces every stencil access to stride by
+// the full line length n. It produces identical results to the other modes
+// but at gather speed — the paper's 17.9 Gflops row.
+func sweepGather(data []float32, pre, n int, a *coef5) {
+	s := newPlaneScratch(TileB)
+	for g := 0; g < pre; g += TileB {
+		b := TileB
+		if g+b > pre {
+			b = pre - g
+		}
+		s.ensure(n, b)
+		base := g * n
+		wrap := func(i int) int {
+			if i >= n {
+				return i - n
+			}
+			if i < 0 {
+				return i + n
+			}
+			return i
+		}
+		// Phase 1: every interface flux, gathered with stride n across the
+		// b lines (the Fig. 2 access pattern).
+		for i := 0; i <= n; i++ {
+			i0, i1, i2, i3, i4 := wrap(i-3), wrap(i-2), wrap(i-1), wrap(i), wrap(i+1)
+			fl := s.flux[i][:b]
+			for l := 0; l < b; l++ {
+				off := base + l*n
+				fl[l] = flux5(a, data[off+i0], data[off+i1], data[off+i2],
+					data[off+i3], data[off+i4])
+			}
+		}
+		// Phase 2: strided scatter of the update.
+		for i := 0; i < n; i++ {
+			lo := s.flux[i][:b]
+			hi := s.flux[i+1][:b]
+			for l := 0; l < b; l++ {
+				data[base+l*n+i] -= hi[l] - lo[l]
+			}
+		}
+	}
+}
+
+// sweepLAT is the Fig. 3 fix: groups of TileB lines are transposed (in B×B
+// tiles, the software analogue of the in-register shuffles) into a
+// position-major scratch so the update streams with unit stride, then
+// transposed back.
+func sweepLAT(data []float32, pre, n int, a *coef5) {
+	s := newPlaneScratch(TileB)
+	t := make([]float32, n*TileB)
+	for g := 0; g < pre; g += TileB {
+		b := TileB
+		if g+b > pre {
+			b = pre - g
+		}
+		base := g * n
+		transposeIn(data[base:], t, n, b)
+		updatePlane(t[:n*b], n, b, a, s)
+		transposeOut(t, data[base:], n, b)
+	}
+}
+
+// transposeIn rearranges b lines of length n (row-major [b][n]) into a
+// position-major [n][b] buffer, tile by tile.
+func transposeIn(src, dst []float32, n, b int) {
+	for i0 := 0; i0 < n; i0 += TileB {
+		imax := i0 + TileB
+		if imax > n {
+			imax = n
+		}
+		for l := 0; l < b; l++ {
+			lrow := src[l*n:]
+			for i := i0; i < imax; i++ {
+				dst[i*b+l] = lrow[i]
+			}
+		}
+	}
+}
+
+// transposeOut is the inverse of transposeIn.
+func transposeOut(src, dst []float32, n, b int) {
+	for i0 := 0; i0 < n; i0 += TileB {
+		imax := i0 + TileB
+		if imax > n {
+			imax = n
+		}
+		for l := 0; l < b; l++ {
+			lrow := dst[l*n:]
+			for i := i0; i < imax; i++ {
+				lrow[i] = src[i*b+l]
+			}
+		}
+	}
+}

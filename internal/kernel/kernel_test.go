@@ -1,0 +1,275 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomBrick(t *testing.T, dims ...int) *Brick {
+	t.Helper()
+	b, err := NewBrick(dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := range b.Data {
+		b.Data[i] = rng.Float32()
+	}
+	return b
+}
+
+func cloneBrick(b *Brick) *Brick {
+	return &Brick{
+		Dims: append([]int(nil), b.Dims...),
+		Data: append([]float32(nil), b.Data...),
+	}
+}
+
+func TestNewBrickValidation(t *testing.T) {
+	if _, err := NewBrick(); err == nil {
+		t.Fatal("empty dims accepted")
+	}
+	if _, err := NewBrick(4, 0, 4); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	b, err := NewBrick(2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Data) != 24 {
+		t.Fatalf("data length %d, want 24", len(b.Data))
+	}
+}
+
+func TestShape3(t *testing.T) {
+	b, _ := NewBrick(2, 3, 4, 5)
+	pre, n, post, err := b.Shape3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre != 2 || n != 3 || post != 20 {
+		t.Fatalf("shape3(1) = (%d,%d,%d)", pre, n, post)
+	}
+	if _, _, _, err := b.Shape3(4); err == nil {
+		t.Fatal("bad axis accepted")
+	}
+}
+
+func TestModesAgreeBitwise(t *testing.T) {
+	// All modes must produce the identical float32 result: they reorder
+	// memory traffic, never arithmetic.
+	dims := []int{6, 6, 6, 8, 7, 16}
+	for axis := 0; axis < 6; axis++ {
+		ref := randomBrick(t, dims...)
+		got := cloneBrick(ref)
+		if err := ref.Sweep(axis, Strided, 0.4); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Sweep(axis, Contig, 0.4); err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Data {
+			if ref.Data[i] != got.Data[i] {
+				t.Fatalf("axis %d: Contig differs from Strided at %d: %v vs %v",
+					axis, i, got.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+func TestLATAgreesBitwise(t *testing.T) {
+	dims := []int{6, 6, 6, 8, 7, 16}
+	ref := randomBrick(t, dims...)
+	got := cloneBrick(ref)
+	if err := ref.Sweep(5, Strided, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Sweep(5, LAT, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Data {
+		if ref.Data[i] != got.Data[i] {
+			t.Fatalf("LAT differs at %d: %v vs %v", i, got.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestLATRejectedOffFastestAxis(t *testing.T) {
+	b := randomBrick(t, 8, 8, 8)
+	if err := b.Sweep(0, LAT, 0.3); err == nil {
+		t.Fatal("LAT accepted on a non-fastest axis")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	b := randomBrick(t, 4, 16)
+	if err := b.Sweep(0, Strided, 0.3); err == nil {
+		t.Fatal("extent < 6 accepted")
+	}
+	if err := b.Sweep(1, Strided, float32(math.NaN())); err == nil {
+		t.Fatal("NaN CFL accepted")
+	}
+	if err := b.Sweep(7, Strided, 0.1); err == nil {
+		t.Fatal("bad axis accepted")
+	}
+	if err := b.Sweep(1, Mode(42), 0.1); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestSweepConservesMass(t *testing.T) {
+	b := randomBrick(t, 6, 6, 8, 16)
+	total := func() float64 {
+		s := 0.0
+		for _, v := range b.Data {
+			s += float64(v)
+		}
+		return s
+	}
+	m0 := total()
+	for axis := 0; axis < 4; axis++ {
+		if err := b.Sweep(axis, Contig, 0.35); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := math.Abs(total() - m0); d > 1e-3*m0 {
+		t.Fatalf("mass drift %v (float32 accumulation)", d)
+	}
+}
+
+func TestZeroCFLIsIdentity(t *testing.T) {
+	b := randomBrick(t, 6, 8, 16)
+	ref := cloneBrick(b)
+	for axis := 0; axis < 3; axis++ {
+		for _, m := range []Mode{Strided, Contig} {
+			if err := b.Sweep(axis, m, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := b.Sweep(2, LAT, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Data {
+		if b.Data[i] != ref.Data[i] {
+			t.Fatalf("zero CFL changed data at %d", i)
+		}
+	}
+}
+
+func TestUpdateLine5ShiftsSine(t *testing.T) {
+	// One full period at CFL 0.5 returns a smooth profile to itself with
+	// only high-order error.
+	n := 64
+	line := make([]float32, n)
+	for i := range line {
+		line[i] = float32(2 + math.Sin(2*math.Pi*float64(i)/float64(n)))
+	}
+	orig := append([]float32(nil), line...)
+	a := cslCoefs(0.5)
+	for it := 0; it < 2*n; it++ {
+		updateLine5(line, &a)
+	}
+	for i := range line {
+		if d := math.Abs(float64(line[i] - orig[i])); d > 1e-3 {
+			t.Fatalf("cell %d error %v after one period", i, d)
+		}
+	}
+}
+
+func TestTransposeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(60)
+		b := 1 + rng.Intn(TileB)
+		src := make([]float32, n*b)
+		for i := range src {
+			src[i] = rng.Float32()
+		}
+		tbuf := make([]float32, n*b)
+		dst := make([]float32, n*b)
+		transposeIn(src, tbuf, n, b)
+		transposeOut(tbuf, dst, n, b)
+		for i := range src {
+			if src[i] != dst[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureTable1SmokeAndShape(t *testing.T) {
+	cfg := Table1Config{NX: 6, NY: 6, NZ: 6, NUX: 8, NUY: 8, NUZ: 16, Reps: 1}
+	rows, err := Measure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 directions × 2 modes + 1 LAT row.
+	if len(rows) != 13 {
+		t.Fatalf("got %d rows, want 13", len(rows))
+	}
+	for _, r := range rows {
+		if r.GFlops <= 0 {
+			t.Fatalf("non-positive throughput for %s %s", r.Direction, r.Mode)
+		}
+	}
+	var sb strings.Builder
+	WriteTable1(&sb, rows)
+	out := sb.String()
+	for _, d := range Directions {
+		if !strings.Contains(out, d) {
+			t.Fatalf("table output missing direction %s:\n%s", d, out)
+		}
+	}
+	if !strings.Contains(out, "–") {
+		t.Fatalf("table should mark inapplicable LAT cells with –:\n%s", out)
+	}
+}
+
+func TestContigBeatsStridedOffFastAxis(t *testing.T) {
+	// The Table 1 effect, asserted qualitatively: for a sweep along a
+	// large-stride axis, the contiguous-inner-loop kernel must be faster.
+	// Use a brick large enough to defeat L1 caching of whole lines.
+	cfg := Table1Config{NX: 6, NY: 6, NZ: 6, NUX: 24, NUY: 24, NUZ: 24, Reps: 2}
+	rows, err := Measure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf := map[string]map[Mode]float64{}
+	for _, r := range rows {
+		if perf[r.Direction] == nil {
+			perf[r.Direction] = map[Mode]float64{}
+		}
+		perf[r.Direction][r.Mode] = r.GFlops
+	}
+	// Quantitative layout ratios are measured by the benchmarks (shared CI
+	// machines are too noisy for hard thresholds in unit tests); here we
+	// assert only that the restructured kernels are not pathologically
+	// slower than the naive path. Note the LAT-vs-gather race cannot be won
+	// in scalar Go: without SIMD lanes there is no reward for cross-line
+	// contiguity, only the transpose cost (see EXPERIMENTS.md) — so LAT is
+	// held to a correctness+sanity bar, not the paper's speedup.
+	if perf["ux"][Contig] < 0.7*perf["ux"][Strided] {
+		t.Errorf("ux: Contig %.2f far below Strided %.2f",
+			perf["ux"][Contig], perf["ux"][Strided])
+	}
+	if perf["uz"][LAT] < perf["uz"][Contig]*0.3 {
+		t.Errorf("uz: LAT %.2f pathologically below gather %.2f", perf["uz"][LAT], perf["uz"][Contig])
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Strided.String() != "w/o SIMD" || Contig.String() != "w/ SIMD" || LAT.String() != "w/ LAT" {
+		t.Fatal("mode labels drifted from the paper's headers")
+	}
+	if !strings.Contains(Mode(9).String(), "9") {
+		t.Fatal("unknown mode label")
+	}
+}

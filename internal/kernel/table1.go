@@ -1,0 +1,130 @@
+package kernel
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Direction labels the six sweep directions of the Vlasov update in the
+// paper's order (velocity space first, as in Table 1).
+var Directions = []string{"ux", "uy", "uz", "x", "y", "z"}
+
+// Table1Row is one measurement of the Table 1 reproduction.
+type Table1Row struct {
+	Direction string
+	Mode      Mode
+	GFlops    float64
+	Cells     int
+	Elapsed   time.Duration
+}
+
+// Table1Config sizes the measurement brick. The paper measures per CMG on
+// Nx = 32³, Nu = 64³ split over two nodes; the defaults use a laptop-scale
+// brick with the same 6D structure.
+type Table1Config struct {
+	NX, NY, NZ    int // spatial extents
+	NUX, NUY, NUZ int // velocity extents
+	Reps          int // timed repetitions per row
+}
+
+// DefaultTable1Config returns a configuration sized to run in seconds on a
+// laptop while keeping the velocity cube large enough for the stride effects
+// to show.
+func DefaultTable1Config() Table1Config {
+	return Table1Config{NX: 8, NY: 8, NZ: 8, NUX: 32, NUY: 32, NUZ: 32, Reps: 3}
+}
+
+// axisOf maps a direction label to the brick axis under the layout
+// (x, y, z, ux, uy, uz) with uz fastest, mirroring List 1.
+func axisOf(dir string) int {
+	switch dir {
+	case "x":
+		return 0
+	case "y":
+		return 1
+	case "z":
+		return 2
+	case "ux":
+		return 3
+	case "uy":
+		return 4
+	case "uz":
+		return 5
+	}
+	return -1
+}
+
+// Measure runs the per-direction, per-mode sweeps of Table 1 and returns
+// the measured rows. Modes that do not apply to a direction (LAT off the
+// fastest axis) are skipped, as in the paper's table ("–" entries).
+func Measure(cfg Table1Config) ([]Table1Row, error) {
+	b, err := NewBrick(cfg.NX, cfg.NY, cfg.NZ, cfg.NUX, cfg.NUY, cfg.NUZ)
+	if err != nil {
+		return nil, err
+	}
+	for i := range b.Data {
+		b.Data[i] = 1 + 0.5*float32(i%17)/17
+	}
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	cells := len(b.Data)
+	var rows []Table1Row
+	for _, dir := range Directions {
+		axis := axisOf(dir)
+		modes := []Mode{Strided, Contig}
+		if dir == "uz" {
+			modes = append(modes, LAT)
+		}
+		for _, m := range modes {
+			// Warm-up sweep.
+			if err := b.Sweep(axis, m, 0.3); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			for r := 0; r < cfg.Reps; r++ {
+				if err := b.Sweep(axis, m, 0.3); err != nil {
+					return nil, err
+				}
+			}
+			el := time.Since(start)
+			fl := float64(cells) * FlopsPerCell * float64(cfg.Reps)
+			rows = append(rows, Table1Row{
+				Direction: dir,
+				Mode:      m,
+				GFlops:    fl / el.Seconds() / 1e9,
+				Cells:     cells,
+				Elapsed:   el,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WriteTable1 renders rows in the paper's Table 1 layout.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1: advection sweep throughput per direction (Gflop/s)\n")
+	fmt.Fprintf(w, "%-10s %-12s %-12s %-12s\n", "Direction", "w/o SIMD", "w/ SIMD", "w/ LAT")
+	byDir := map[string]map[Mode]float64{}
+	for _, r := range rows {
+		if byDir[r.Direction] == nil {
+			byDir[r.Direction] = map[Mode]float64{}
+		}
+		byDir[r.Direction][r.Mode] = r.GFlops
+	}
+	for _, d := range Directions {
+		m := byDir[d]
+		if m == nil {
+			continue
+		}
+		cell := func(md Mode) string {
+			v, ok := m[md]
+			if !ok {
+				return "–"
+			}
+			return fmt.Sprintf("%.2f", v)
+		}
+		fmt.Fprintf(w, "%-10s %-12s %-12s %-12s\n", d, cell(Strided), cell(Contig), cell(LAT))
+	}
+}

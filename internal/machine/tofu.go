@@ -1,0 +1,90 @@
+package machine
+
+import "fmt"
+
+// TofuD models the Tofu interconnect D of Fugaku: a six-dimensional
+// mesh/torus with shape 24×23×24×2×3×2 (§6.1), where the (a, b, c) axes of
+// size (2, 3, 2) are the intra-group links and (x, y, z) the inter-group
+// torus. The paper places MPI processes so that "communications between
+// physically adjacent domains are kept fenced within a single hop"; this
+// model lets the communication terms of Step reason about hop counts and
+// bisection width instead of a flat bandwidth.
+type TofuD struct {
+	Shape [6]int
+	// Periodic marks which axes are tori (the x, z and b axes of Tofu-D
+	// wrap; y is a mesh on Fugaku).
+	Periodic [6]bool
+}
+
+// FugakuTofu returns the full-system Tofu-D of the paper.
+func FugakuTofu() TofuD {
+	return TofuD{
+		Shape:    [6]int{24, 23, 24, 2, 3, 2},
+		Periodic: [6]bool{true, false, true, false, true, false},
+	}
+}
+
+// Nodes returns the total node count of the network shape.
+func (t TofuD) Nodes() int {
+	n := 1
+	for _, s := range t.Shape {
+		n *= s
+	}
+	return n
+}
+
+// Coords maps a node rank (row-major over the six axes) to its coordinates.
+func (t TofuD) Coords(rank int) ([6]int, error) {
+	if rank < 0 || rank >= t.Nodes() {
+		return [6]int{}, fmt.Errorf("machine: node %d outside the %d-node network", rank, t.Nodes())
+	}
+	var c [6]int
+	for d := 5; d >= 0; d-- {
+		c[d] = rank % t.Shape[d]
+		rank /= t.Shape[d]
+	}
+	return c, nil
+}
+
+// HopDistance returns the minimal hop count between two nodes, honouring
+// per-axis wrap-around.
+func (t TofuD) HopDistance(a, b [6]int) int {
+	hops := 0
+	for d := 0; d < 6; d++ {
+		diff := a[d] - b[d]
+		if diff < 0 {
+			diff = -diff
+		}
+		if t.Periodic[d] {
+			if w := t.Shape[d] - diff; w < diff {
+				diff = w
+			}
+		}
+		hops += diff
+	}
+	return hops
+}
+
+// BisectionLinks returns the number of links crossing a bisection of the
+// network along its longest axis — the denominator of all-to-all transfer
+// time at scale. For a torus axis the cut is crossed twice per
+// perpendicular node column, once for a mesh axis.
+func (t TofuD) BisectionLinks() int {
+	longest, li := 0, 0
+	for d, s := range t.Shape {
+		if s > longest {
+			longest, li = s, d
+		}
+	}
+	perp := t.Nodes() / t.Shape[li]
+	if t.Periodic[li] {
+		return 2 * perp
+	}
+	return perp
+}
+
+// NeighbourSingleHop reports whether the paper's placement claim holds for
+// two nodes: adjacent sub-domains map to nodes within one hop.
+func (t TofuD) NeighbourSingleHop(a, b [6]int) bool {
+	return t.HopDistance(a, b) <= 1
+}

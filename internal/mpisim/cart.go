@@ -1,0 +1,49 @@
+package mpisim
+
+import "fmt"
+
+// Cart maps ranks onto a periodic 3D Cartesian process grid — the paper's
+// (n_x, n_y, n_z) domain decomposition of §5.1.3. Rank order is row-major:
+// rank = (px·ny + py)·nz + pz.
+type Cart struct {
+	N [3]int
+}
+
+// NewCart validates the process-grid shape against the world size.
+func NewCart(size int, n [3]int) (*Cart, error) {
+	if n[0] < 1 || n[1] < 1 || n[2] < 1 {
+		return nil, fmt.Errorf("mpisim: invalid cart dims %v", n)
+	}
+	if n[0]*n[1]*n[2] != size {
+		return nil, fmt.Errorf("mpisim: cart dims %v do not tile %d ranks", n, size)
+	}
+	return &Cart{N: n}, nil
+}
+
+// Coords returns the process coordinates of a rank.
+func (c *Cart) Coords(rank int) [3]int {
+	pz := rank % c.N[2]
+	py := (rank / c.N[2]) % c.N[1]
+	px := rank / (c.N[1] * c.N[2])
+	return [3]int{px, py, pz}
+}
+
+// Rank returns the rank at process coordinates p (periodically wrapped).
+func (c *Cart) Rank(p [3]int) int {
+	for d := 0; d < 3; d++ {
+		p[d] %= c.N[d]
+		if p[d] < 0 {
+			p[d] += c.N[d]
+		}
+	}
+	return (p[0]*c.N[1]+p[1])*c.N[2] + p[2]
+}
+
+// Shift returns the ranks of the neighbours at −1 and +1 along dim.
+func (c *Cart) Shift(rank, dim int) (lo, hi int) {
+	p := c.Coords(rank)
+	pm, pp := p, p
+	pm[dim]--
+	pp[dim]++
+	return c.Rank(pm), c.Rank(pp)
+}

@@ -1,0 +1,449 @@
+// Package mpisim is an in-process stand-in for the MPI runtime the paper
+// runs on Fugaku. Ranks are goroutines; point-to-point messages travel over
+// buffered channels; the collectives used by the simulation (Barrier, Bcast,
+// Reduce/Allreduce, Gather/Allgather, Alltoall) are built from them exactly
+// as a flat MPI implementation would be.
+//
+// The package preserves the programming model the paper's code is written
+// against — ghost exchange between Cartesian neighbours, the 3D→2D layout
+// exchange feeding the parallel FFT, tree-boundary particle exchange — so
+// that the decomposition logic is exercised for real, including its deadlock
+// and ordering hazards. Per-rank traffic counters feed the machine model
+// that extrapolates communication cost to Fugaku scale (Tables 3–4, Fig. 7).
+package mpisim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// message is one point-to-point transfer.
+type message struct {
+	tag  int
+	data any
+}
+
+// World owns the communication state for a fixed number of ranks.
+type World struct {
+	size  int
+	chans [][]chan message // chans[src][dst]
+
+	barrierMu  sync.Mutex
+	barrierGen int
+	barrierCnt int
+	barrierCv  *sync.Cond
+
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+}
+
+// chanBuf is the per-pair channel depth. It bounds how far a sender can run
+// ahead of the matching receive; the collectives below are written to be
+// deadlock-free under any positive depth.
+const chanBuf = 1024
+
+// NewWorld creates a communication world with n ranks.
+func NewWorld(n int) (*World, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mpisim: invalid world size %d", n)
+	}
+	w := &World{size: n}
+	w.barrierCv = sync.NewCond(&w.barrierMu)
+	w.chans = make([][]chan message, n)
+	for i := range w.chans {
+		w.chans[i] = make([]chan message, n)
+		for j := range w.chans[i] {
+			w.chans[i][j] = make(chan message, chanBuf)
+		}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// BytesSent returns the cumulative point-to-point traffic in bytes.
+func (w *World) BytesSent() int64 { return w.bytesSent.Load() }
+
+// MessagesSent returns the cumulative number of point-to-point messages.
+func (w *World) MessagesSent() int64 { return w.msgsSent.Load() }
+
+// Run executes fn concurrently on every rank and waits for completion. A
+// panic inside a rank is recovered and reported; the first error wins.
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpisim: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = fn(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comm is one rank's endpoint into the world.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this rank's index.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// dataBytes estimates the wire size of a payload for the traffic counters.
+func dataBytes(data any) int64 {
+	switch d := data.(type) {
+	case []float32:
+		return int64(4 * len(d))
+	case []float64:
+		return int64(8 * len(d))
+	case []int:
+		return int64(8 * len(d))
+	case []byte:
+		return int64(len(d))
+	case float64, int64, int:
+		return 8
+	case float32, int32:
+		return 4
+	default:
+		return 16
+	}
+}
+
+// copyPayload deep-copies slice payloads so that sender and receiver never
+// alias (matching MPI's value semantics across the wire).
+func copyPayload(data any) any {
+	switch d := data.(type) {
+	case []float32:
+		return append([]float32(nil), d...)
+	case []float64:
+		return append([]float64(nil), d...)
+	case []int:
+		return append([]int(nil), d...)
+	case []byte:
+		return append([]byte(nil), d...)
+	default:
+		return data
+	}
+}
+
+// Send delivers data to rank `to` with a matching tag. Slice payloads are
+// copied. Send blocks only when the channel buffer is full.
+func (c *Comm) Send(to, tag int, data any) error {
+	if to < 0 || to >= c.w.size {
+		return fmt.Errorf("mpisim: send to invalid rank %d", to)
+	}
+	c.w.bytesSent.Add(dataBytes(data))
+	c.w.msgsSent.Add(1)
+	c.w.chans[c.rank][to] <- message{tag: tag, data: copyPayload(data)}
+	return nil
+}
+
+// Recv receives the next message from rank `from`, which must carry `tag`;
+// a tag mismatch is a protocol error (the simulation's exchanges are fully
+// ordered per rank pair).
+func (c *Comm) Recv(from, tag int) (any, error) {
+	if from < 0 || from >= c.w.size {
+		return nil, fmt.Errorf("mpisim: recv from invalid rank %d", from)
+	}
+	m := <-c.w.chans[from][c.rank]
+	if m.tag != tag {
+		return nil, fmt.Errorf("mpisim: rank %d expected tag %d from %d, got %d",
+			c.rank, tag, from, m.tag)
+	}
+	return m.data, nil
+}
+
+// RecvF64 receives a []float64 payload.
+func (c *Comm) RecvF64(from, tag int) ([]float64, error) {
+	d, err := c.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := d.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("mpisim: expected []float64, got %T", d)
+	}
+	return s, nil
+}
+
+// RecvF32 receives a []float32 payload.
+func (c *Comm) RecvF32(from, tag int) ([]float32, error) {
+	d, err := c.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := d.([]float32)
+	if !ok {
+		return nil, fmt.Errorf("mpisim: expected []float32, got %T", d)
+	}
+	return s, nil
+}
+
+// Sendrecv posts a send to `to` and then receives from `from` — the ghost-
+// exchange primitive. Deadlock-free because Send only blocks on a full
+// buffer, and exchanges are paired.
+func (c *Comm) Sendrecv(to, sendTag int, data any, from, recvTag int) (any, error) {
+	if err := c.Send(to, sendTag, data); err != nil {
+		return nil, err
+	}
+	return c.Recv(from, recvTag)
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	w := c.w
+	w.barrierMu.Lock()
+	gen := w.barrierGen
+	w.barrierCnt++
+	if w.barrierCnt == w.size {
+		w.barrierCnt = 0
+		w.barrierGen++
+		w.barrierCv.Broadcast()
+	} else {
+		for gen == w.barrierGen {
+			w.barrierCv.Wait()
+		}
+	}
+	w.barrierMu.Unlock()
+}
+
+// Bcast distributes root's data to all ranks and returns each rank's copy.
+func (c *Comm) Bcast(root int, data any) (any, error) {
+	const tag = -101
+	if c.rank == root {
+		for r := 0; r < c.w.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tag, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	return c.Recv(root, tag)
+}
+
+// ReduceOp names a reduction operator.
+type ReduceOp int
+
+// Supported reductions.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func applyOp(op ReduceOp, acc, v []float64) {
+	switch op {
+	case OpSum:
+		for i := range acc {
+			acc[i] += v[i]
+		}
+	case OpMax:
+		for i := range acc {
+			if v[i] > acc[i] {
+				acc[i] = v[i]
+			}
+		}
+	case OpMin:
+		for i := range acc {
+			if v[i] < acc[i] {
+				acc[i] = v[i]
+			}
+		}
+	}
+}
+
+// Allreduce combines vec across all ranks with op and returns the result on
+// every rank (gather-to-root + broadcast, as flat MPI implementations do at
+// small scale).
+func (c *Comm) Allreduce(op ReduceOp, vec []float64) ([]float64, error) {
+	const tag = -102
+	if c.rank == 0 {
+		acc := append([]float64(nil), vec...)
+		for r := 1; r < c.w.size; r++ {
+			d, err := c.RecvF64(r, tag)
+			if err != nil {
+				return nil, err
+			}
+			if len(d) != len(acc) {
+				return nil, fmt.Errorf("mpisim: allreduce length mismatch %d vs %d", len(d), len(acc))
+			}
+			applyOp(op, acc, d)
+		}
+		out, err := c.Bcast(0, acc)
+		if err != nil {
+			return nil, err
+		}
+		return out.([]float64), nil
+	}
+	if err := c.Send(0, tag, vec); err != nil {
+		return nil, err
+	}
+	out, err := c.Bcast(0, nil)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := out.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("mpisim: allreduce expected []float64, got %T", out)
+	}
+	return s, nil
+}
+
+// AllreduceScalar reduces a single float64.
+func (c *Comm) AllreduceScalar(op ReduceOp, v float64) (float64, error) {
+	out, err := c.Allreduce(op, []float64{v})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// Gather collects each rank's slice on root (concatenated in rank order);
+// non-root ranks receive nil.
+func (c *Comm) Gather(root int, vec []float64) ([][]float64, error) {
+	const tag = -103
+	if c.rank != root {
+		return nil, c.Send(root, tag, vec)
+	}
+	out := make([][]float64, c.w.size)
+	out[root] = append([]float64(nil), vec...)
+	for r := 0; r < c.w.size; r++ {
+		if r == root {
+			continue
+		}
+		d, err := c.RecvF64(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = d
+	}
+	return out, nil
+}
+
+// Alltoall exchanges send[r] with every rank r and returns recv where
+// recv[r] is the slice sent by rank r to this rank. The exchange is staged
+// in relative-offset order, the standard deadlock-free schedule.
+func (c *Comm) Alltoall(send [][]float64) ([][]float64, error) {
+	const tag = -104
+	n := c.w.size
+	if len(send) != n {
+		return nil, fmt.Errorf("mpisim: alltoall needs %d buckets, got %d", n, len(send))
+	}
+	recv := make([][]float64, n)
+	recv[c.rank] = append([]float64(nil), send[c.rank]...)
+	for off := 1; off < n; off++ {
+		to := (c.rank + off) % n
+		from := (c.rank - off + n) % n
+		d, err := c.Sendrecv(to, tag, send[to], from, tag)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := d.([]float64)
+		if !ok && d != nil {
+			return nil, fmt.Errorf("mpisim: alltoall expected []float64, got %T", d)
+		}
+		recv[from] = s
+	}
+	return recv, nil
+}
+
+// AlltoallF32 is Alltoall for float32 payloads (the Vlasov ghost and FFT
+// layers are single precision).
+func (c *Comm) AlltoallF32(send [][]float32) ([][]float32, error) {
+	const tag = -105
+	n := c.w.size
+	if len(send) != n {
+		return nil, fmt.Errorf("mpisim: alltoall needs %d buckets, got %d", n, len(send))
+	}
+	recv := make([][]float32, n)
+	recv[c.rank] = append([]float32(nil), send[c.rank]...)
+	for off := 1; off < n; off++ {
+		to := (c.rank + off) % n
+		from := (c.rank - off + n) % n
+		d, err := c.Sendrecv(to, tag, send[to], from, tag)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := d.([]float32)
+		if !ok && d != nil {
+			return nil, fmt.Errorf("mpisim: alltoall expected []float32, got %T", d)
+		}
+		recv[from] = s
+	}
+	return recv, nil
+}
+
+// Request is a handle to a non-blocking operation; Wait blocks until it
+// completes and returns the received payload (nil for sends).
+type Request struct {
+	done chan any
+	err  error
+}
+
+// Wait blocks for completion.
+func (r *Request) Wait() (any, error) {
+	if r.done == nil {
+		return nil, r.err
+	}
+	d := <-r.done
+	return d, r.err
+}
+
+// Isend posts a send that completes asynchronously (the channel buffer makes
+// the enqueue itself non-blocking in all but pathological backlogs; the
+// goroutine absorbs even those).
+func (c *Comm) Isend(to, tag int, data any) *Request {
+	if to < 0 || to >= c.w.size {
+		return &Request{err: fmt.Errorf("mpisim: isend to invalid rank %d", to)}
+	}
+	req := &Request{done: make(chan any, 1)}
+	payload := copyPayload(data)
+	c.w.bytesSent.Add(dataBytes(data))
+	c.w.msgsSent.Add(1)
+	go func() {
+		c.w.chans[c.rank][to] <- message{tag: tag, data: payload}
+		req.done <- nil
+	}()
+	return req
+}
+
+// Irecv posts a receive that completes asynchronously; Wait returns the
+// payload. Tag mismatches surface as errors at Wait.
+func (c *Comm) Irecv(from, tag int) *Request {
+	if from < 0 || from >= c.w.size {
+		return &Request{err: fmt.Errorf("mpisim: irecv from invalid rank %d", from)}
+	}
+	req := &Request{done: make(chan any, 1)}
+	go func() {
+		m := <-c.w.chans[from][c.rank]
+		if m.tag != tag {
+			req.err = fmt.Errorf("mpisim: rank %d expected tag %d from %d, got %d",
+				c.rank, tag, from, m.tag)
+			req.done <- nil
+			return
+		}
+		req.done <- m.data
+	}()
+	return req
+}

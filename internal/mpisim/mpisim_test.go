@@ -1,0 +1,456 @@
+package mpisim
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Fatal("zero-size world accepted")
+	}
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 4 {
+		t.Fatalf("size %d", w.Size())
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []float64{1, 2, 3})
+		}
+		d, err := c.RecvF64(0, 7)
+		if err != nil {
+			return err
+		}
+		if len(d) != 3 || d[2] != 3 {
+			return fmt.Errorf("bad payload %v", d)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []float64{1, 2, 3}
+			if err := c.Send(1, 0, buf); err != nil {
+				return err
+			}
+			buf[0] = 99 // must not be visible to the receiver
+			return c.Send(1, 1, []float64{0})
+		}
+		d, err := c.RecvF64(0, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := c.RecvF64(0, 1); err != nil {
+			return err
+		}
+		if d[0] != 1 {
+			return fmt.Errorf("aliasing: got %v", d[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMismatchDetected(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 5, []float64{1})
+		}
+		_, err := c.Recv(0, 6)
+		if err == nil {
+			return fmt.Errorf("tag mismatch unnoticed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidRanks(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if err := c.Send(5, 0, nil); err == nil {
+			return fmt.Errorf("bad dest accepted")
+		}
+		if _, err := c.Recv(-1, 0); err == nil {
+			return fmt.Errorf("bad source accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicInRankIsReported(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not reported")
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	w, _ := NewWorld(8)
+	var before, after atomic.Int32
+	err := w.Run(func(c *Comm) error {
+		before.Add(1)
+		c.Barrier()
+		if before.Load() != 8 {
+			return fmt.Errorf("rank %d passed barrier before all arrived", c.Rank())
+		}
+		after.Add(1)
+		c.Barrier()
+		if after.Load() != 8 {
+			return fmt.Errorf("second barrier broken")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	w, _ := NewWorld(5)
+	err := w.Run(func(c *Comm) error {
+		var payload []float64
+		if c.Rank() == 2 {
+			payload = []float64{3.14, 2.71}
+		}
+		out, err := c.Bcast(2, payload)
+		if err != nil {
+			return err
+		}
+		d := out.([]float64)
+		if d[0] != 3.14 || d[1] != 2.71 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), d)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	w, _ := NewWorld(6)
+	err := w.Run(func(c *Comm) error {
+		v := []float64{float64(c.Rank()), 1}
+		out, err := c.Allreduce(OpSum, v)
+		if err != nil {
+			return err
+		}
+		if out[0] != 15 || out[1] != 6 {
+			return fmt.Errorf("rank %d: %v", c.Rank(), out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	w, _ := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		mx, err := c.AllreduceScalar(OpMax, float64(c.Rank()*c.Rank()))
+		if err != nil {
+			return err
+		}
+		if mx != 9 {
+			return fmt.Errorf("max %v", mx)
+		}
+		mn, err := c.AllreduceScalar(OpMin, float64(c.Rank())-1)
+		if err != nil {
+			return err
+		}
+		if mn != -1 {
+			return fmt.Errorf("min %v", mn)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	w, _ := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		out, err := c.Gather(1, []float64{float64(c.Rank() * 10)})
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 1 {
+			if out != nil {
+				return fmt.Errorf("non-root got data")
+			}
+			return nil
+		}
+		for r := 0; r < 3; r++ {
+			if out[r][0] != float64(r*10) {
+				return fmt.Errorf("gather slot %d = %v", r, out[r])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	w, _ := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		send := make([][]float64, 4)
+		for r := range send {
+			send[r] = []float64{float64(c.Rank()*100 + r)}
+		}
+		recv, err := c.Alltoall(send)
+		if err != nil {
+			return err
+		}
+		for r := range recv {
+			want := float64(r*100 + c.Rank())
+			if len(recv[r]) != 1 || recv[r][0] != want {
+				return fmt.Errorf("rank %d from %d: got %v want %v", c.Rank(), r, recv[r], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallF32(t *testing.T) {
+	w, _ := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		send := make([][]float32, 3)
+		for r := range send {
+			send[r] = []float32{float32(c.Rank()), float32(r)}
+		}
+		recv, err := c.AlltoallF32(send)
+		if err != nil {
+			return err
+		}
+		for r := range recv {
+			if recv[r][0] != float32(r) || recv[r][1] != float32(c.Rank()) {
+				return fmt.Errorf("bad bucket %d: %v", r, recv[r])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	// Every rank passes its value around a ring N times; deadlock-freedom
+	// and delivery order are both exercised.
+	const n = 5
+	w, _ := NewWorld(n)
+	err := w.Run(func(c *Comm) error {
+		val := []float64{float64(c.Rank())}
+		for hop := 0; hop < n; hop++ {
+			to := (c.Rank() + 1) % n
+			from := (c.Rank() - 1 + n) % n
+			d, err := c.Sendrecv(to, hop, val, from, hop)
+			if err != nil {
+				return err
+			}
+			val = d.([]float64)
+		}
+		if val[0] != float64(c.Rank()) {
+			return fmt.Errorf("rank %d: ring returned %v", c.Rank(), val[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, make([]float64, 100))
+		}
+		_, err := c.RecvF64(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.BytesSent() != 800 {
+		t.Fatalf("BytesSent = %d, want 800", w.BytesSent())
+	}
+	if w.MessagesSent() != 1 {
+		t.Fatalf("MessagesSent = %d", w.MessagesSent())
+	}
+}
+
+func TestCartMapping(t *testing.T) {
+	c, err := NewCart(24, [3]int{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coords/Rank must be inverse bijections.
+	seen := map[[3]int]bool{}
+	for r := 0; r < 24; r++ {
+		p := c.Coords(r)
+		if c.Rank(p) != r {
+			t.Fatalf("rank %d -> %v -> %d", r, p, c.Rank(p))
+		}
+		seen[p] = true
+	}
+	if len(seen) != 24 {
+		t.Fatal("coords not unique")
+	}
+}
+
+func TestCartValidation(t *testing.T) {
+	if _, err := NewCart(8, [3]int{2, 2, 3}); err == nil {
+		t.Fatal("non-tiling dims accepted")
+	}
+	if _, err := NewCart(0, [3]int{0, 1, 1}); err == nil {
+		t.Fatal("zero dims accepted")
+	}
+}
+
+func TestCartShiftPeriodic(t *testing.T) {
+	c, _ := NewCart(8, [3]int{2, 2, 2})
+	lo, hi := c.Shift(0, 0) // coords (0,0,0) along x
+	if lo != c.Rank([3]int{1, 0, 0}) || hi != c.Rank([3]int{1, 0, 0}) {
+		t.Fatalf("shift got (%d,%d)", lo, hi)
+	}
+	c2, _ := NewCart(27, [3]int{3, 3, 3})
+	lo, hi = c2.Shift(13, 1) // centre cell (1,1,1)
+	if lo != c2.Rank([3]int{1, 0, 1}) || hi != c2.Rank([3]int{1, 2, 1}) {
+		t.Fatalf("shift got (%d,%d)", lo, hi)
+	}
+}
+
+func TestCartRankWrapProperty(t *testing.T) {
+	c, _ := NewCart(27, [3]int{3, 3, 3})
+	f := func(a, b, d int8) bool {
+		p := [3]int{int(a), int(b), int(d)}
+		r := c.Rank(p)
+		return r >= 0 && r < 27
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceAssociativityProperty(t *testing.T) {
+	// Sum over ranks must equal the serial sum regardless of world size.
+	for _, n := range []int{1, 2, 3, 7} {
+		w, _ := NewWorld(n)
+		want := 0.0
+		for r := 0; r < n; r++ {
+			want += math.Sqrt(float64(r + 1))
+		}
+		err := w.Run(func(c *Comm) error {
+			got, err := c.AllreduceScalar(OpSum, math.Sqrt(float64(c.Rank()+1)))
+			if err != nil {
+				return err
+			}
+			if math.Abs(got-want) > 1e-12 {
+				return fmt.Errorf("sum %v want %v", got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	// Post all receives first, then all sends — the overlap pattern real
+	// ghost exchanges use to hide latency.
+	const n = 4
+	w, _ := NewWorld(n)
+	err := w.Run(func(c *Comm) error {
+		var recvs []*Request
+		for r := 0; r < n; r++ {
+			if r == c.Rank() {
+				continue
+			}
+			recvs = append(recvs, c.Irecv(r, 9))
+		}
+		var sends []*Request
+		for r := 0; r < n; r++ {
+			if r == c.Rank() {
+				continue
+			}
+			sends = append(sends, c.Isend(r, 9, []float64{float64(c.Rank())}))
+		}
+		for _, s := range sends {
+			if _, err := s.Wait(); err != nil {
+				return err
+			}
+		}
+		sum := 0.0
+		for _, r := range recvs {
+			d, err := r.Wait()
+			if err != nil {
+				return err
+			}
+			sum += d.([]float64)[0]
+		}
+		want := float64(n*(n-1)/2 - c.Rank())
+		if sum != want {
+			return fmt.Errorf("rank %d: sum %v want %v", c.Rank(), sum, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonblockingValidation(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if _, err := c.Isend(9, 0, nil).Wait(); err == nil {
+			return fmt.Errorf("bad dest accepted")
+		}
+		if _, err := c.Irecv(-2, 0).Wait(); err == nil {
+			return fmt.Errorf("bad source accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+package plasma
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(4, 32, 10, 6); err == nil {
+		t.Fatal("nx < 6 accepted")
+	}
+	if _, err := New(32, 4, 10, 6); err == nil {
+		t.Fatal("nv < 6 accepted")
+	}
+	if _, err := New(32, 32, -1, 6); err == nil {
+		t.Fatal("bad L accepted")
+	}
+	if _, err := New(32, 32, 10, 0); err == nil {
+		t.Fatal("bad Vmax accepted")
+	}
+}
+
+func TestFaddeevaKnownValues(t *testing.T) {
+	// w(0) = 1.
+	if d := cmplx.Abs(faddeeva(0) - 1); d > 1e-8 {
+		t.Fatalf("w(0) error %v", d)
+	}
+	// w(i) = e^{1}·erfc(1) ≈ 0.42758357615580700442.
+	want := math.E * math.Erfc(1)
+	if d := cmplx.Abs(faddeeva(complex(0, 1)) - complex(want, 0)); d > 1e-8 {
+		t.Fatalf("w(i) error %v", d)
+	}
+	// Pure real argument: w(x) = e^{−x²} + i·(2/√π)·Dawson-type imaginary
+	// part; check the real part only.
+	x := 1.5
+	got := faddeeva(complex(x, 1e-12))
+	if d := math.Abs(real(got) - math.Exp(-x*x)); d > 1e-6 {
+		t.Fatalf("Re w(1.5) error %v", d)
+	}
+	// Reflection: w(z) + w(−z) = 2e^{−z²}.
+	z := complex(1.2, -0.4)
+	lhs := faddeeva(z) + faddeeva(-z)
+	rhs := 2 * cmplx.Exp(-z*z)
+	if d := cmplx.Abs(lhs - rhs); d > 1e-8 {
+		t.Fatalf("reflection identity error %v", d)
+	}
+}
+
+func TestLandauDampingRateTextbookValues(t *testing.T) {
+	// Canonical kinetic results (e.g. Chen, Nicholson): for vth = 1,
+	// k = 0.5: γ ≈ −0.1533; k = 0.3: γ ≈ −0.0126.
+	g := LandauDampingRate(0.5, 1.0)
+	if math.Abs(g-(-0.1533)) > 0.005 {
+		t.Fatalf("γ(k=0.5) = %v, want ≈ −0.1533", g)
+	}
+	g = LandauDampingRate(0.3, 1.0)
+	if math.Abs(g-(-0.0126)) > 0.002 {
+		t.Fatalf("γ(k=0.3) = %v, want ≈ −0.0126", g)
+	}
+	// Damping strengthens with k.
+	if LandauDampingRate(0.6, 1) >= LandauDampingRate(0.4, 1) {
+		t.Fatal("γ should become more negative with k")
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	s, err := New(32, 64, 4*math.Pi, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LandauInit(0.05, 0.5, 1.0)
+	m0 := s.TotalMass()
+	for i := 0; i < 40; i++ {
+		if err := s.Step(0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rel := math.Abs(s.TotalMass()-m0) / m0; rel > 1e-8 {
+		t.Fatalf("mass drift %v", rel)
+	}
+}
+
+func TestNeutralityAndField(t *testing.T) {
+	s, err := New(32, 64, 2*math.Pi, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unperturbed Maxwellian: E must vanish.
+	s.LandauInit(0, 1, 1)
+	e := s.ElectricField()
+	for i, v := range e {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("uniform plasma has E[%d] = %v", i, v)
+		}
+	}
+	// Sinusoidal density → E = (α/k)sin(kx)·(normalisation).
+	s.LandauInit(0.1, 1, 1)
+	e = s.ElectricField()
+	// At x where cos(kx) = 0 crossing downward, E should peak; just check
+	// amplitude ≈ α/k = 0.1 (ρ amplitude α, E amplitude α/k).
+	amp := 0.0
+	for _, v := range e {
+		if math.Abs(v) > amp {
+			amp = math.Abs(v)
+		}
+	}
+	if math.Abs(amp-0.1) > 0.005 {
+		t.Fatalf("E amplitude %v, want ≈ 0.1", amp)
+	}
+}
+
+// measureDampingRate fits ln(fieldEnergy) maxima over the run.
+func measureDampingRate(t *testing.T, s *Solver, dt float64, steps int) float64 {
+	t.Helper()
+	type peak struct{ t, e float64 }
+	var peaks []peak
+	prev2, prev1 := 0.0, 0.0
+	for i := 0; i < steps; i++ {
+		if err := s.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+		e := s.FieldEnergy()
+		if i >= 2 && prev1 > prev2 && prev1 > e {
+			peaks = append(peaks, peak{t: float64(i) * dt, e: prev1})
+		}
+		prev2, prev1 = prev1, e
+	}
+	if len(peaks) < 3 {
+		t.Fatalf("too few oscillation peaks: %d", len(peaks))
+	}
+	// Least-squares slope of ln E vs t over the peaks → 2γ.
+	n := float64(len(peaks))
+	var sx, sy, sxx, sxy float64
+	for _, p := range peaks {
+		x, y := p.t, math.Log(p.e)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	return slope / 2
+}
+
+func TestLandauDampingMeasured(t *testing.T) {
+	// The flagship validation: the measured field-energy decay rate must
+	// match the kinetic-theory Landau rate within ~15%.
+	k := 0.5
+	s, err := New(64, 256, 2*math.Pi/k, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LandauInit(0.01, k, 1.0)
+	got := measureDampingRate(t, s, 0.05, 500)
+	want := LandauDampingRate(k, 1.0)
+	if math.Abs(got-want) > 0.15*math.Abs(want) {
+		t.Fatalf("measured γ = %v, theory %v", got, want)
+	}
+}
+
+func TestTwoStreamInstabilityGrows(t *testing.T) {
+	// Counter-streaming beams at v0 = 2.4 with k = 0.2 are unstable: the
+	// field energy must grow by orders of magnitude before saturation.
+	k := 0.2
+	s, err := New(32, 128, 2*math.Pi/k, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.TwoStreamInit(1e-3, k, 2.4, 0.5)
+	e0 := s.FieldEnergy()
+	for i := 0; i < 400; i++ {
+		if err := s.Step(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e1 := s.FieldEnergy()
+	if e1 < 100*e0 {
+		t.Fatalf("two-stream instability did not grow: %v -> %v", e0, e1)
+	}
+	// f must remain non-negative through the nonlinear stage.
+	for i, v := range s.F {
+		if v < 0 {
+			t.Fatalf("negative f at %d: %v", i, v)
+		}
+	}
+}
+
+func TestLandauStableMaxwellianStaysQuiet(t *testing.T) {
+	// Control: with no perturbation the field energy stays at round-off.
+	s, err := New(32, 64, 4*math.Pi, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LandauInit(0, 0.5, 1.0)
+	for i := 0; i < 50; i++ {
+		if err := s.Step(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := s.FieldEnergy(); e > 1e-20 {
+		t.Fatalf("unperturbed plasma grew field energy %v", e)
+	}
+}

@@ -1,0 +1,183 @@
+// Package poisson solves the comoving Poisson equation (the paper's eq. 2)
+// on a periodic Cartesian mesh with the FFT convolution method of Hockney &
+// Eastwood, exactly as the paper's PM solver does:
+//
+//	∇²φ(x) = coeff · δρ(x),   φ_k = −coeff · δρ_k / k²,   φ_{k=0} = 0,
+//
+// where coeff = 4πG a²(ρ−ρ̄)-normalisation is supplied by the caller (see
+// cosmo.Params.PoissonCoeff) and δρ is the comoving overdensity contributed
+// by BOTH matter components — the CIC-deposited N-body particles and the
+// velocity-space integral of the neutrino distribution function.
+//
+// The mesh-space gravitational acceleration −∇φ is obtained with
+// fourth-order central differences, the standard PM choice.
+package poisson
+
+import (
+	"fmt"
+	"math"
+
+	"vlasov6d/internal/fft"
+)
+
+// Solver holds the transform plans and Green's function for a fixed mesh.
+type Solver struct {
+	N    [3]int
+	Box  [3]float64
+	f3   *fft.FFT3
+	kfac [3][]float64 // squared wavenumbers per axis
+	work []complex128
+}
+
+// NewSolver creates a Poisson solver for an n[0]×n[1]×n[2] periodic mesh
+// covering a box of physical size box (h⁻¹Mpc).
+func NewSolver(n [3]int, box [3]float64) (*Solver, error) {
+	for d := 0; d < 3; d++ {
+		if n[d] < 2 {
+			return nil, fmt.Errorf("poisson: invalid mesh %v", n)
+		}
+		if box[d] <= 0 {
+			return nil, fmt.Errorf("poisson: invalid box %v", box)
+		}
+	}
+	f3, err := fft.NewFFT3(n[0], n[1], n[2])
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{N: n, Box: box, f3: f3}
+	for d := 0; d < 3; d++ {
+		s.kfac[d] = make([]float64, n[d])
+		for i := 0; i < n[d]; i++ {
+			m := i
+			if m > n[d]/2 {
+				m -= n[d]
+			}
+			k := 2 * math.Pi * float64(m) / box[d]
+			s.kfac[d][i] = k * k
+		}
+	}
+	s.work = make([]complex128, n[0]*n[1]*n[2])
+	return s, nil
+}
+
+// Size returns the number of mesh cells.
+func (s *Solver) Size() int { return s.N[0] * s.N[1] * s.N[2] }
+
+// Solve computes the potential for the given source: ∇²φ = coeff·src.
+// src is a real field of length Size(); the result is written into phi
+// (allocated when nil) and returned. The mean of src is projected out, which
+// implements the (ρ − ρ̄) subtraction of eq. (2).
+func (s *Solver) Solve(src []float64, coeff float64, phi []float64) ([]float64, error) {
+	return s.SolveFiltered(src, coeff, 0, phi)
+}
+
+// SolveFiltered is Solve with the TreePM long-range filter applied in
+// Fourier space: φ_k = −coeff·exp(−k²·rs²)·δρ_k/k². With rs = 0 it reduces
+// to the plain periodic solution; with rs > 0 it returns the long-range
+// potential whose complement is supplied by the tree's erfc short-range
+// force (package tree).
+func (s *Solver) SolveFiltered(src []float64, coeff, rs float64, phi []float64) ([]float64, error) {
+	n := s.Size()
+	if len(src) != n {
+		return nil, fmt.Errorf("poisson: source length %d != %d", len(src), n)
+	}
+	if phi == nil {
+		phi = make([]float64, n)
+	} else if len(phi) != n {
+		return nil, fmt.Errorf("poisson: phi length %d != %d", len(phi), n)
+	}
+	w := s.work
+	for i, v := range src {
+		w[i] = complex(v, 0)
+	}
+	if err := s.f3.Forward(w); err != nil {
+		return nil, err
+	}
+	idx := 0
+	for ix := 0; ix < s.N[0]; ix++ {
+		kx2 := s.kfac[0][ix]
+		for iy := 0; iy < s.N[1]; iy++ {
+			ky2 := s.kfac[1][iy]
+			for iz := 0; iz < s.N[2]; iz++ {
+				k2 := kx2 + ky2 + s.kfac[2][iz]
+				if k2 == 0 {
+					w[idx] = 0 // remove the mean: φ is defined up to a constant
+				} else {
+					g := -coeff / k2
+					if rs > 0 {
+						g *= math.Exp(-k2 * rs * rs)
+					}
+					w[idx] *= complex(g, 0)
+				}
+				idx++
+			}
+		}
+	}
+	if err := s.f3.Inverse(w); err != nil {
+		return nil, err
+	}
+	for i := range phi {
+		phi[i] = real(w[i])
+	}
+	return phi, nil
+}
+
+// idx3 returns the flat index of (ix, iy, iz) with periodic wrapping.
+func (s *Solver) idx3(ix, iy, iz int) int {
+	ix = wrap(ix, s.N[0])
+	iy = wrap(iy, s.N[1])
+	iz = wrap(iz, s.N[2])
+	return (ix*s.N[1]+iy)*s.N[2] + iz
+}
+
+func wrap(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// Gradient fills g with ∂φ/∂x_dim using fourth-order central differences:
+// f'(x) ≈ [8(f₊₁−f₋₁) − (f₊₂−f₋₂)]/(12Δ).
+func (s *Solver) Gradient(phi []float64, dim int, g []float64) error {
+	n := s.Size()
+	if len(phi) != n || len(g) != n {
+		return fmt.Errorf("poisson: gradient length mismatch")
+	}
+	if dim < 0 || dim > 2 {
+		return fmt.Errorf("poisson: invalid dim %d", dim)
+	}
+	h := s.Box[dim] / float64(s.N[dim])
+	inv12h := 1 / (12 * h)
+	var di [3]int
+	di[dim] = 1
+	for ix := 0; ix < s.N[0]; ix++ {
+		for iy := 0; iy < s.N[1]; iy++ {
+			for iz := 0; iz < s.N[2]; iz++ {
+				p1 := phi[s.idx3(ix+di[0], iy+di[1], iz+di[2])]
+				m1 := phi[s.idx3(ix-di[0], iy-di[1], iz-di[2])]
+				p2 := phi[s.idx3(ix+2*di[0], iy+2*di[1], iz+2*di[2])]
+				m2 := phi[s.idx3(ix-2*di[0], iy-2*di[1], iz-2*di[2])]
+				g[s.idx3(ix, iy, iz)] = (8*(p1-m1) - (p2 - m2)) * inv12h
+			}
+		}
+	}
+	return nil
+}
+
+// Accel computes the acceleration field −∇φ into three freshly allocated
+// component arrays.
+func (s *Solver) Accel(phi []float64) ([3][]float64, error) {
+	var acc [3][]float64
+	for d := 0; d < 3; d++ {
+		acc[d] = make([]float64, s.Size())
+		if err := s.Gradient(phi, d, acc[d]); err != nil {
+			return acc, err
+		}
+		for i := range acc[d] {
+			acc[d][i] = -acc[d][i]
+		}
+	}
+	return acc, nil
+}

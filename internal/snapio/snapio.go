@@ -1,0 +1,301 @@
+// Package snapio reads and writes simulation snapshots in a simple
+// checksummed little-endian binary format. Snapshot volume is what the
+// paper's end-to-end time-to-solution measurement charges to I/O (733 s of
+// the 1.92 h H1024 run), so the writers report byte counts to the caller.
+//
+// Layout: a fixed header (magic, version, scale factor, time, box, particle
+// and grid shapes), followed by the particle section (positions, velocities
+// as float64) and, when present, the phase-space section (float32 cube
+// data), each section followed by its CRC-32 (IEEE).
+package snapio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"vlasov6d/internal/nbody"
+	"vlasov6d/internal/phase"
+)
+
+// Magic identifies the format ("V6D" + version byte).
+const Magic = 0x56364431 // "V6D1"
+
+// Snapshot bundles the state written to disk.
+type Snapshot struct {
+	A    float64
+	Time float64
+	Part *nbody.Particles
+	Grid *phase.Grid // optional
+}
+
+// countingWriter tracks bytes written.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Write serialises the snapshot and returns the number of bytes written.
+func Write(w io.Writer, s *Snapshot) (int64, error) {
+	if s == nil || s.Part == nil {
+		return 0, fmt.Errorf("snapio: nil snapshot or particles")
+	}
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<20)
+	le := binary.LittleEndian
+
+	writeU64 := func(h hash.Hash32, v uint64) error {
+		var b [8]byte
+		le.PutUint64(b[:], v)
+		if h != nil {
+			h.Write(b[:])
+		}
+		_, err := bw.Write(b[:])
+		return err
+	}
+	writeF64 := func(h hash.Hash32, v float64) error {
+		return writeU64(h, math.Float64bits(v))
+	}
+
+	// Header.
+	hdr := crc32.NewIEEE()
+	if err := writeU64(hdr, Magic); err != nil {
+		return cw.n, err
+	}
+	if err := writeF64(hdr, s.A); err != nil {
+		return cw.n, err
+	}
+	if err := writeF64(hdr, s.Time); err != nil {
+		return cw.n, err
+	}
+	if err := writeU64(hdr, uint64(s.Part.N)); err != nil {
+		return cw.n, err
+	}
+	if err := writeF64(hdr, s.Part.Mass); err != nil {
+		return cw.n, err
+	}
+	for d := 0; d < 3; d++ {
+		if err := writeF64(hdr, s.Part.Box[d]); err != nil {
+			return cw.n, err
+		}
+	}
+	// Grid shape (zeros when absent).
+	var gdims [7]uint64
+	if s.Grid != nil {
+		gdims = [7]uint64{
+			uint64(s.Grid.NX), uint64(s.Grid.NY), uint64(s.Grid.NZ),
+			uint64(s.Grid.NU[0]), uint64(s.Grid.NU[1]), uint64(s.Grid.NU[2]),
+			math.Float64bits(s.Grid.UMax),
+		}
+	}
+	for _, v := range gdims {
+		if err := writeU64(hdr, v); err != nil {
+			return cw.n, err
+		}
+	}
+	if s.Grid != nil {
+		for d := 0; d < 3; d++ {
+			if err := writeF64(hdr, s.Grid.Box[d]); err != nil {
+				return cw.n, err
+			}
+		}
+	} else {
+		for d := 0; d < 3; d++ {
+			if err := writeF64(hdr, 0); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := writeU64(nil, uint64(hdr.Sum32())); err != nil {
+		return cw.n, err
+	}
+
+	// Particle section.
+	ps := crc32.NewIEEE()
+	buf := make([]byte, 8)
+	writeFloats := func(h hash.Hash32, vals []float64) error {
+		for _, v := range vals {
+			le.PutUint64(buf, math.Float64bits(v))
+			h.Write(buf)
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for d := 0; d < 3; d++ {
+		if err := writeFloats(ps, s.Part.Pos[d]); err != nil {
+			return cw.n, err
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if err := writeFloats(ps, s.Part.Vel[d]); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeU64(nil, uint64(ps.Sum32())); err != nil {
+		return cw.n, err
+	}
+
+	// Phase-space section.
+	if s.Grid != nil {
+		gs := crc32.NewIEEE()
+		b4 := make([]byte, 4)
+		for _, v := range s.Grid.Data {
+			le.PutUint32(b4, math.Float32bits(v))
+			gs.Write(b4)
+			if _, err := bw.Write(b4); err != nil {
+				return cw.n, err
+			}
+		}
+		if err := writeU64(nil, uint64(gs.Sum32())); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Read deserialises a snapshot, verifying every checksum.
+func Read(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	le := binary.LittleEndian
+	readU64 := func(h hash.Hash32) (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		if h != nil {
+			h.Write(b[:])
+		}
+		return le.Uint64(b[:]), nil
+	}
+	readF64 := func(h hash.Hash32) (float64, error) {
+		v, err := readU64(h)
+		return math.Float64frombits(v), err
+	}
+
+	hdr := crc32.NewIEEE()
+	magic, err := readU64(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("snapio: bad magic %#x", magic)
+	}
+	s := &Snapshot{}
+	if s.A, err = readF64(hdr); err != nil {
+		return nil, err
+	}
+	if s.Time, err = readF64(hdr); err != nil {
+		return nil, err
+	}
+	n64, err := readU64(hdr)
+	if err != nil {
+		return nil, err
+	}
+	mass, err := readF64(hdr)
+	if err != nil {
+		return nil, err
+	}
+	var box [3]float64
+	for d := 0; d < 3; d++ {
+		if box[d], err = readF64(hdr); err != nil {
+			return nil, err
+		}
+	}
+	var gdims [7]uint64
+	for i := range gdims {
+		if gdims[i], err = readU64(hdr); err != nil {
+			return nil, err
+		}
+	}
+	var gbox [3]float64
+	for d := 0; d < 3; d++ {
+		if gbox[d], err = readF64(hdr); err != nil {
+			return nil, err
+		}
+	}
+	wantSum := hdr.Sum32()
+	sum, err := readU64(nil)
+	if err != nil {
+		return nil, err
+	}
+	if uint32(sum) != wantSum {
+		return nil, fmt.Errorf("snapio: header checksum mismatch")
+	}
+
+	part, err := nbody.NewParticles(int(n64), mass, box)
+	if err != nil {
+		return nil, err
+	}
+	ps := crc32.NewIEEE()
+	readFloats := func(h hash.Hash32, dst []float64) error {
+		b := make([]byte, 8)
+		for i := range dst {
+			if _, err := io.ReadFull(br, b); err != nil {
+				return err
+			}
+			h.Write(b)
+			dst[i] = math.Float64frombits(le.Uint64(b))
+		}
+		return nil
+	}
+	for d := 0; d < 3; d++ {
+		if err := readFloats(ps, part.Pos[d]); err != nil {
+			return nil, err
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if err := readFloats(ps, part.Vel[d]); err != nil {
+			return nil, err
+		}
+	}
+	wantSum = ps.Sum32()
+	if sum, err = readU64(nil); err != nil {
+		return nil, err
+	}
+	if uint32(sum) != wantSum {
+		return nil, fmt.Errorf("snapio: particle checksum mismatch")
+	}
+	s.Part = part
+
+	if gdims[0] > 0 {
+		g, err := phase.New(int(gdims[0]), int(gdims[1]), int(gdims[2]),
+			[3]int{int(gdims[3]), int(gdims[4]), int(gdims[5])},
+			gbox, math.Float64frombits(gdims[6]))
+		if err != nil {
+			return nil, err
+		}
+		gs := crc32.NewIEEE()
+		b4 := make([]byte, 4)
+		for i := range g.Data {
+			if _, err := io.ReadFull(br, b4); err != nil {
+				return nil, err
+			}
+			gs.Write(b4)
+			g.Data[i] = math.Float32frombits(le.Uint32(b4))
+		}
+		wantSum = gs.Sum32()
+		if sum, err = readU64(nil); err != nil {
+			return nil, err
+		}
+		if uint32(sum) != wantSum {
+			return nil, fmt.Errorf("snapio: phase-space checksum mismatch")
+		}
+		s.Grid = g
+	}
+	return s, nil
+}

@@ -1,0 +1,134 @@
+package snapio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"vlasov6d/internal/nbody"
+	"vlasov6d/internal/phase"
+)
+
+func sampleSnapshot(t *testing.T, withGrid bool) *Snapshot {
+	t.Helper()
+	p, err := nbody.NewParticles(100, 2.5, [3]float64{50, 50, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < p.N; i++ {
+		for d := 0; d < 3; d++ {
+			p.Pos[d][i] = rng.Float64() * 50
+			p.Vel[d][i] = rng.NormFloat64() * 100
+		}
+	}
+	s := &Snapshot{A: 0.5, Time: 0.0042, Part: p}
+	if withGrid {
+		g, err := phase.New(4, 4, 4, [3]int{6, 6, 6}, [3]float64{50, 50, 50}, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range g.Data {
+			g.Data[i] = rng.Float32()
+		}
+		s.Grid = g
+	}
+	return s
+}
+
+func TestRoundTripWithGrid(t *testing.T) {
+	s := sampleSnapshot(t, true)
+	var buf bytes.Buffer
+	n, err := Write(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.A != s.A || got.Time != s.Time {
+		t.Fatal("scalars differ")
+	}
+	if got.Part.N != s.Part.N || got.Part.Mass != s.Part.Mass {
+		t.Fatal("particle meta differs")
+	}
+	for d := 0; d < 3; d++ {
+		for i := 0; i < s.Part.N; i++ {
+			if got.Part.Pos[d][i] != s.Part.Pos[d][i] || got.Part.Vel[d][i] != s.Part.Vel[d][i] {
+				t.Fatalf("particle %d dim %d differs", i, d)
+			}
+		}
+	}
+	if got.Grid == nil {
+		t.Fatal("grid missing")
+	}
+	for i := range s.Grid.Data {
+		if got.Grid.Data[i] != s.Grid.Data[i] {
+			t.Fatalf("grid value %d differs", i)
+		}
+	}
+	if got.Grid.UMax != s.Grid.UMax {
+		t.Fatal("UMax differs")
+	}
+}
+
+func TestRoundTripParticlesOnly(t *testing.T) {
+	s := sampleSnapshot(t, false)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Grid != nil {
+		t.Fatal("phantom grid appeared")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	s := sampleSnapshot(t, true)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the particle payload region.
+	data := buf.Bytes()
+	data[200] ^= 0xFF
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("zero stream accepted")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	s := sampleSnapshot(t, false)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	half := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(half)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	if _, err := Write(&buf, &Snapshot{}); err == nil {
+		t.Fatal("missing particles accepted")
+	}
+}

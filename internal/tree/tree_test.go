@@ -1,0 +1,279 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vlasov6d/internal/nbody"
+	"vlasov6d/internal/units"
+)
+
+func randomParticles(t *testing.T, n int, box float64, seed int64) *nbody.Particles {
+	t.Helper()
+	p, err := nbody.NewParticles(n, 2.0, [3]float64{box, box, box})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		for d := 0; d < 3; d++ {
+			p.Pos[d][i] = rng.Float64() * box
+		}
+	}
+	return p
+}
+
+func TestBuildValidation(t *testing.T) {
+	p := randomParticles(t, 10, 100, 1)
+	if _, err := Build(p, Options{RSplit: 0}); err == nil {
+		t.Fatal("zero RSplit accepted")
+	}
+	if _, err := Build(p, Options{RSplit: 30}); err == nil {
+		t.Fatal("cutoff beyond half box accepted")
+	}
+	if _, err := Build(p, Options{RSplit: 2, Theta: -1}); err == nil {
+		t.Fatal("negative theta accepted")
+	}
+	bad, _ := nbody.NewParticles(4, 1, [3]float64{10, 20, 10})
+	if _, err := Build(bad, Options{RSplit: 1}); err == nil {
+		t.Fatal("non-cubic box accepted")
+	}
+}
+
+func TestSplitGLimits(t *testing.T) {
+	if d := math.Abs(SplitG(0) - 1); d > 1e-14 {
+		t.Fatalf("g(0) = %v, want 1", SplitG(0))
+	}
+	// At the GADGET-convention cutoff 4.5·r_s the residual pair force is
+	// ≈1.75% of Newtonian; dropped tails cancel statistically.
+	if g := SplitG(CutoffFactor); g > 2e-2 {
+		t.Fatalf("g at cutoff = %v, not negligible", g)
+	}
+	// Monotone decreasing.
+	prev := SplitG(0)
+	for x := 0.1; x < 4.5; x += 0.1 {
+		g := SplitG(x)
+		if g > prev {
+			t.Fatalf("g not monotone at %v", x)
+		}
+		prev = g
+	}
+}
+
+func TestGTableMatchesExact(t *testing.T) {
+	gt := sharedGTable()
+	for _, x := range []float64{0.05, 0.26, 0.5, 1.0, 2.0, 3.3, 4.4} {
+		want := SplitG(x) / (x * x * x)
+		got := gt.lookup(x)
+		if math.Abs(got-want)/want > 2e-4 {
+			t.Fatalf("g-table at x=%v: %v vs %v", x, got, want)
+		}
+	}
+	if gt.lookup(4.6) != 0 {
+		t.Fatal("lookup beyond cutoff should vanish")
+	}
+}
+
+func TestTreeExactAtThetaZero(t *testing.T) {
+	p := randomParticles(t, 300, 100, 7)
+	opt := Options{Theta: 0, RSplit: 5, Soft: 0.1}
+	tr, err := Build(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 17, 111, 299} {
+		pos := [3]float64{p.Pos[0][i], p.Pos[1][i], p.Pos[2][i]}
+		got := tr.Accel(pos)
+		want := DirectShortRange(p, i, opt.Soft, opt.RSplit)
+		for d := 0; d < 3; d++ {
+			scale := math.Abs(want[0]) + math.Abs(want[1]) + math.Abs(want[2]) + 1e-12
+			if math.Abs(got[d]-want[d])/scale > 2e-3 {
+				t.Fatalf("particle %d dim %d: %v vs %v", i, d, got[d], want[d])
+			}
+		}
+	}
+}
+
+func TestTreeMonopoleAccuracy(t *testing.T) {
+	p := randomParticles(t, 500, 100, 8)
+	opt := Options{Theta: 0.4, RSplit: 5, Soft: 0.1}
+	tr, err := Build(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRel := 0.0
+	for i := 0; i < 40; i++ {
+		pos := [3]float64{p.Pos[0][i], p.Pos[1][i], p.Pos[2][i]}
+		got := tr.Accel(pos)
+		want := DirectShortRange(p, i, opt.Soft, opt.RSplit)
+		norm := math.Sqrt(want[0]*want[0] + want[1]*want[1] + want[2]*want[2])
+		if norm == 0 {
+			continue
+		}
+		var d2 float64
+		for d := 0; d < 3; d++ {
+			d2 += (got[d] - want[d]) * (got[d] - want[d])
+		}
+		rel := math.Sqrt(d2) / norm
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 0.05 {
+		t.Fatalf("θ=0.4 worst-case force error %v > 5%%", maxRel)
+	}
+}
+
+func TestScalarAndBatchedKernelsAgree(t *testing.T) {
+	p := randomParticles(t, 200, 100, 9)
+	optS := Options{Theta: 0.5, RSplit: 5, Soft: 0.1, Scalar: true}
+	optB := optS
+	optB.Scalar = false
+	trS, err := Build(p, optS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trB, err := Build(p, optB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		pos := [3]float64{p.Pos[0][i], p.Pos[1][i], p.Pos[2][i]}
+		a := trS.Accel(pos)
+		b := trB.Accel(pos)
+		norm := math.Abs(a[0]) + math.Abs(a[1]) + math.Abs(a[2]) + 1e-12
+		for d := 0; d < 3; d++ {
+			if math.Abs(a[d]-b[d])/norm > 1e-3 {
+				t.Fatalf("kernels disagree at %d dim %d: %v vs %v", i, d, a[d], b[d])
+			}
+		}
+	}
+}
+
+func TestIsolatedPairNewton(t *testing.T) {
+	// Two close particles: the short-range force alone is essentially the
+	// full Newtonian force (g ≈ 1 for r ≪ r_s).
+	p, _ := nbody.NewParticles(2, 3.0, [3]float64{1000, 1000, 1000})
+	p.Pos[0][0], p.Pos[1][0], p.Pos[2][0] = 500, 500, 500
+	p.Pos[0][1], p.Pos[1][1], p.Pos[2][1] = 501, 500, 500
+	tr, err := Build(p, Options{Theta: 0, RSplit: 100, Soft: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tr.Accel([3]float64{500, 500, 500})
+	want := units.G * p.Mass // G m / r² at r = 1
+	if math.Abs(a[0]-want)/want > 1e-3 {
+		t.Fatalf("pair force %v, want %v", a[0], want)
+	}
+	if math.Abs(a[1]) > 1e-10 || math.Abs(a[2]) > 1e-10 {
+		t.Fatalf("transverse force should vanish: %v", a)
+	}
+}
+
+func TestNewtonThirdLawAntisymmetry(t *testing.T) {
+	p, _ := nbody.NewParticles(2, 1.0, [3]float64{100, 100, 100})
+	p.Pos[0][0], p.Pos[1][0], p.Pos[2][0] = 40, 50, 50
+	p.Pos[0][1], p.Pos[1][1], p.Pos[2][1] = 46, 50, 50
+	tr, err := Build(p, Options{Theta: 0, RSplit: 3, Soft: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0 := tr.Accel([3]float64{40, 50, 50})
+	a1 := tr.Accel([3]float64{46, 50, 50})
+	for d := 0; d < 3; d++ {
+		if math.Abs(a0[d]+a1[d]) > 1e-12*(math.Abs(a0[d])+1) {
+			t.Fatalf("third law violated dim %d: %v vs %v", d, a0[d], a1[d])
+		}
+	}
+}
+
+func TestPeriodicMinimumImageForce(t *testing.T) {
+	// A particle near x=0 and one near x=L attract across the boundary.
+	p, _ := nbody.NewParticles(2, 1.0, [3]float64{100, 100, 100})
+	p.Pos[0][0], p.Pos[1][0], p.Pos[2][0] = 0.5, 50, 50
+	p.Pos[0][1], p.Pos[1][1], p.Pos[2][1] = 99.5, 50, 50
+	tr, err := Build(p, Options{Theta: 0, RSplit: 3, Soft: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tr.Accel([3]float64{0.5, 50, 50})
+	if a[0] >= 0 {
+		t.Fatalf("force should pull across the periodic boundary (negative x): %v", a[0])
+	}
+}
+
+func TestAccelAllMatchesAccel(t *testing.T) {
+	p := randomParticles(t, 150, 100, 11)
+	tr, err := Build(p, Options{Theta: 0.5, RSplit: 5, Soft: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc [3][]float64
+	for d := 0; d < 3; d++ {
+		acc[d] = make([]float64, p.N)
+	}
+	if err := tr.AccelAll(acc); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 42, 149} {
+		want := tr.Accel([3]float64{p.Pos[0][i], p.Pos[1][i], p.Pos[2][i]})
+		for d := 0; d < 3; d++ {
+			if acc[d][i] != want[d] {
+				t.Fatalf("AccelAll differs at %d dim %d", i, d)
+			}
+		}
+	}
+	var short [3][]float64
+	short[0] = make([]float64, 3)
+	short[1] = make([]float64, p.N)
+	short[2] = make([]float64, p.N)
+	if err := tr.AccelAll(short); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestTreeMassConservation(t *testing.T) {
+	// Root node mass equals total mass; checked for random particle sets.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(200)
+		p, _ := nbody.NewParticles(n, 1.25, [3]float64{50, 50, 50})
+		for i := 0; i < n; i++ {
+			for d := 0; d < 3; d++ {
+				p.Pos[d][i] = rng.Float64() * 50
+			}
+		}
+		tr, err := Build(p, Options{Theta: 0.5, RSplit: 2})
+		if err != nil {
+			return false
+		}
+		return math.Abs(tr.nodes[0].mass-float64(n)*1.25) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteredParticlesDeepTree(t *testing.T) {
+	// Many particles at nearly the same point must not break the build
+	// (depth cap) and forces must stay finite with softening.
+	p, _ := nbody.NewParticles(100, 1.0, [3]float64{100, 100, 100})
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < p.N; i++ {
+		p.Pos[0][i] = 50 + rng.Float64()*1e-8
+		p.Pos[1][i] = 50 + rng.Float64()*1e-8
+		p.Pos[2][i] = 50 + rng.Float64()*1e-8
+	}
+	tr, err := Build(p, Options{Theta: 0.5, RSplit: 5, Soft: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tr.Accel([3]float64{50, 50, 50})
+	for d := 0; d < 3; d++ {
+		if math.IsNaN(a[d]) || math.IsInf(a[d], 0) {
+			t.Fatalf("non-finite acceleration %v", a)
+		}
+	}
+}

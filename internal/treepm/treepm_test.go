@@ -1,0 +1,193 @@
+package treepm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vlasov6d/internal/nbody"
+	"vlasov6d/internal/units"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Mesh: [3]int{0, 8, 8}, Box: [3]float64{1, 1, 1}}); err == nil {
+		t.Fatal("bad mesh accepted")
+	}
+	if _, err := New(Config{Mesh: [3]int{8, 8, 8}, Box: [3]float64{0, 1, 1}}); err == nil {
+		t.Fatal("bad box accepted")
+	}
+	if _, err := New(Config{Mesh: [3]int{8, 8, 8}, Box: [3]float64{1, 1, 1}, RSplitCells: -1}); err == nil {
+		t.Fatal("negative split accepted")
+	}
+	s, err := New(Config{Mesh: [3]int{8, 8, 8}, Box: [3]float64{80, 80, 80}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.RSplit()-1.25*10) > 1e-12 {
+		t.Fatalf("RSplit = %v, want 12.5", s.RSplit())
+	}
+}
+
+// isolatedPairAccel computes the TreePM acceleration of particle 0 in a
+// two-particle configuration.
+func isolatedPairAccel(t *testing.T, sep float64, pmOnly bool) (ax, want float64) {
+	t.Helper()
+	box := 256.0
+	p, err := nbody.NewParticles(2, 5.0, [3]float64{box, box, box})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Pos[0][0], p.Pos[1][0], p.Pos[2][0] = 128-sep/2, 128, 128
+	p.Pos[0][1], p.Pos[1][1], p.Pos[2][1] = 128+sep/2, 128, 128
+	s, err := New(Config{
+		Mesh:   [3]int{64, 64, 64},
+		Box:    [3]float64{box, box, box},
+		PMOnly: pmOnly,
+		Soft:   1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc [3][]float64
+	for d := 0; d < 3; d++ {
+		acc[d] = make([]float64, 2)
+	}
+	// a = 1: pmCoeff = 4πG, shortScale = 1.
+	if err := s.Accel(p, nil, 4*math.Pi*units.G, 1.0, acc); err != nil {
+		t.Fatal(err)
+	}
+	return acc[0][0], units.G * p.Mass / (sep * sep)
+}
+
+func TestTotalForceMatchesNewton(t *testing.T) {
+	// PM+tree must reproduce Newton across the split scale (r_s = 5 here):
+	// below, at, and above it. Periodic images at sep ≪ box are negligible.
+	for _, sep := range []float64{2, 5, 12, 25} {
+		ax, want := isolatedPairAccel(t, sep, false)
+		if ax <= 0 {
+			t.Fatalf("sep %v: attraction expected, got %v", sep, ax)
+		}
+		if math.Abs(ax-want)/want > 0.06 {
+			t.Fatalf("sep %v: TreePM force %v, Newton %v (err %.1f%%)",
+				sep, ax, want, 100*math.Abs(ax-want)/want)
+		}
+	}
+}
+
+func TestPMOnlyMissesShortRange(t *testing.T) {
+	// The control experiment for the split: pure PM underestimates the
+	// force well below the mesh scale but matches far above it.
+	axClose, wantClose := isolatedPairAccel(t, 2, true)
+	if axClose > 0.7*wantClose {
+		t.Fatalf("pure PM should lose short-range force: %v vs %v", axClose, wantClose)
+	}
+	axFar, wantFar := isolatedPairAccel(t, 25, true)
+	if math.Abs(axFar-wantFar)/wantFar > 0.06 {
+		t.Fatalf("pure PM should be exact at long range: %v vs %v", axFar, wantFar)
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	// Σ m·a must vanish: CIC deposit/interp are adjoint and the tree is
+	// antisymmetric.
+	box := 100.0
+	p, _ := nbody.NewParticles(64, 2.0, [3]float64{box, box, box})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < p.N; i++ {
+		for d := 0; d < 3; d++ {
+			p.Pos[d][i] = rng.Float64() * box
+		}
+	}
+	s, err := New(Config{Mesh: [3]int{16, 16, 16}, Box: [3]float64{box, box, box}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc [3][]float64
+	for d := 0; d < 3; d++ {
+		acc[d] = make([]float64, p.N)
+	}
+	if err := s.Accel(p, nil, 4*math.Pi*units.G, 1.0, acc); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 3; d++ {
+		sum, norm := 0.0, 0.0
+		for i := 0; i < p.N; i++ {
+			sum += acc[d][i]
+			norm += math.Abs(acc[d][i])
+		}
+		if norm == 0 {
+			continue
+		}
+		if math.Abs(sum)/norm > 1e-6 {
+			t.Fatalf("dim %d: net force fraction %v", d, math.Abs(sum)/norm)
+		}
+	}
+}
+
+func TestExtraRhoCouplesIn(t *testing.T) {
+	// A single particle feels no self-force; adding an external density
+	// blob (the "neutrino" component) must pull it.
+	box := 64.0
+	p, _ := nbody.NewParticles(1, 1.0, [3]float64{box, box, box})
+	p.Pos[0][0], p.Pos[1][0], p.Pos[2][0] = 16, 32, 32
+	s, err := New(Config{Mesh: [3]int{32, 32, 32}, Box: [3]float64{box, box, box}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := make([]float64, 32*32*32)
+	// Overdense blob at mesh cell (16,16,16) → position (33,33,33):
+	// Δx = +17 < L/2, so the minimum-image pull is in +x.
+	extra[(16*32+16)*32+16] = 50
+	var acc [3][]float64
+	for d := 0; d < 3; d++ {
+		acc[d] = make([]float64, 1)
+	}
+	if err := s.Accel(p, extra, 4*math.Pi*units.G, 1.0, acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc[0][0] <= 0 {
+		t.Fatalf("particle not pulled toward the external blob: %v", acc[0][0])
+	}
+	bad := make([]float64, 7)
+	if err := s.Accel(p, bad, 1, 1, acc); err == nil {
+		t.Fatal("bad extraRho length accepted")
+	}
+}
+
+func TestScalarKernelAgrees(t *testing.T) {
+	box := 100.0
+	mk := func(scalar bool) [3][]float64 {
+		p, _ := nbody.NewParticles(32, 2.0, [3]float64{box, box, box})
+		rng := rand.New(rand.NewSource(8))
+		for i := 0; i < p.N; i++ {
+			for d := 0; d < 3; d++ {
+				p.Pos[d][i] = rng.Float64() * box
+			}
+		}
+		s, err := New(Config{
+			Mesh: [3]int{16, 16, 16}, Box: [3]float64{box, box, box},
+			ScalarKernel: scalar,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acc [3][]float64
+		for d := 0; d < 3; d++ {
+			acc[d] = make([]float64, p.N)
+		}
+		if err := s.Accel(p, nil, 4*math.Pi*units.G, 1.0, acc); err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	a := mk(true)
+	b := mk(false)
+	for d := 0; d < 3; d++ {
+		for i := range a[d] {
+			norm := math.Abs(a[d][i]) + 1e-9
+			if math.Abs(a[d][i]-b[d][i])/norm > 1e-2 {
+				t.Fatalf("kernels disagree at %d dim %d: %v vs %v", i, d, a[d][i], b[d][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package vlasov
+
+import (
+	"math"
+
+	"vlasov6d/internal/phase"
+)
+
+// Diagnostics bundles the global invariants the Vlasov literature tracks:
+// total mass, L1/L2 norms and the Casimir entropy −∫f ln f. Under exact
+// transport mass and every Casimir are conserved; the MP/PP limiters add a
+// controlled dissipation that makes the L2 norm monotonically non-increasing
+// and the entropy non-decreasing — a useful fingerprint that the limiters
+// are active but not runaway.
+type Diagnostics struct {
+	Mass    float64
+	L1      float64
+	L2      float64
+	Entropy float64
+	MinF    float64
+	MaxF    float64
+}
+
+// ComputeDiagnostics evaluates the invariants over a grid.
+func ComputeDiagnostics(g *phase.Grid) Diagnostics {
+	dv := g.DX(0) * g.DX(1) * g.DX(2) * g.DU(0) * g.DU(1) * g.DU(2)
+	ncell := g.NCells()
+	type cellPart struct{ mass, l1, l2, ent, mn, mx float64 }
+	parts := make([]cellPart, ncell)
+	g.ParallelCells(func(ix, iy, iz int) {
+		c := g.CellIndex(ix, iy, iz)
+		cube := g.CubeAt(c)
+		p := cellPart{mn: math.Inf(1), mx: math.Inf(-1)}
+		for _, v := range cube {
+			f := float64(v)
+			p.mass += f
+			p.l1 += math.Abs(f)
+			p.l2 += f * f
+			if f > 0 {
+				p.ent -= f * math.Log(f)
+			}
+			if f < p.mn {
+				p.mn = f
+			}
+			if f > p.mx {
+				p.mx = f
+			}
+		}
+		parts[c] = p
+	})
+	d := Diagnostics{MinF: math.Inf(1), MaxF: math.Inf(-1)}
+	for _, p := range parts {
+		d.Mass += p.mass
+		d.L1 += p.l1
+		d.L2 += p.l2
+		d.Entropy += p.ent
+		if p.mn < d.MinF {
+			d.MinF = p.mn
+		}
+		if p.mx > d.MaxF {
+			d.MaxF = p.mx
+		}
+	}
+	d.Mass *= dv
+	d.L1 *= dv
+	d.L2 *= dv
+	d.Entropy *= dv
+	return d
+}

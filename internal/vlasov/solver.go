@@ -1,0 +1,410 @@
+// Package vlasov advances the six-dimensional Vlasov equation (eq. 1) with
+// the directional-splitting sequence of eq. (5): three velocity-space
+// half-steps, three position-space full steps, and the mirrored velocity
+// half-steps, each a set of one-dimensional advections handled by the
+// SL-MPP5 scheme of package advect.
+//
+//   - Position sweeps: ∂f/∂t + (u_i/a²)·∂f/∂x_i = 0, CFL depends only on the
+//     velocity index; lines are periodic across the box.
+//   - Velocity sweeps: ∂f/∂t − (∂φ/∂x_i)·∂f/∂u_i = 0, CFL is the per-cell
+//     acceleration; lines are open (vacuum) at the velocity boundary, and
+//     mass crossing it is recorded as BoundaryLoss.
+//
+// Lines are gathered from the List-1 layout into per-worker float64 buffers
+// (the arithmetic runs in double precision, storage is float32 as in the
+// paper's mixed-precision design) and scattered back. Work is parallelised
+// over independent lines with one scheme clone per worker.
+package vlasov
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"vlasov6d/internal/advect"
+	"vlasov6d/internal/phase"
+)
+
+// Solver advances a phase-space grid in time.
+type Solver struct {
+	g       *phase.Grid
+	proto   advect.Scheme
+	workers int
+
+	// BoundaryLoss accumulates the mass that has left the velocity grid
+	// through its open boundary (in f·d³x·d³u units), a diagnostic for
+	// choosing UMax.
+	BoundaryLoss float64
+
+	mu sync.Mutex // guards BoundaryLoss accumulation from workers
+}
+
+// New creates a solver using the named advection scheme ("slmpp5" for the
+// paper's method; "mp5", "upwind1", "laxwendroff2" for comparisons).
+func New(g *phase.Grid, scheme string) (*Solver, error) {
+	if g == nil {
+		return nil, fmt.Errorf("vlasov: nil grid")
+	}
+	s, err := advect.New(scheme)
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{g: g, proto: s, workers: runtime.GOMAXPROCS(0)}, nil
+}
+
+// Grid returns the underlying phase-space grid.
+func (s *Solver) Grid() *phase.Grid { return s.g }
+
+// SetWorkers pins the worker count (tests use 1 for determinism).
+func (s *Solver) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// SchemeName reports the advection scheme in use.
+func (s *Solver) SchemeName() string { return s.proto.Name() }
+
+// CFLNumbers returns the maximum position-space and velocity-space CFL
+// numbers for time step dt at scale factor a with acceleration fields acc
+// (three arrays over spatial cells).
+func (s *Solver) CFLNumbers(dt, a float64, acc [3][]float64) (cx, cu float64) {
+	g := s.g
+	uMax := g.UMax
+	for d := 0; d < 3; d++ {
+		c := uMax * dt / (a * a * g.DX(d))
+		if c > cx {
+			cx = c
+		}
+		if acc[d] == nil {
+			continue
+		}
+		aMax := 0.0
+		for _, v := range acc[d] {
+			if av := math.Abs(v); av > aMax {
+				aMax = av
+			}
+		}
+		if c := aMax * dt / (2 * g.DU(d)); c > cu {
+			cu = c
+		}
+	}
+	return cx, cu
+}
+
+// SuggestDT returns a time step that keeps the position-space CFL at
+// cflX (the semi-Lagrangian scheme has no stability limit, but accuracy and
+// the ghost-exchange width favour CFL ≲ 1) and the velocity-space half-kick
+// CFL at cflU.
+func (s *Solver) SuggestDT(a float64, acc [3][]float64, cflX, cflU float64) float64 {
+	g := s.g
+	dt := math.Inf(1)
+	for d := 0; d < 3; d++ {
+		dtx := cflX * g.DX(d) * a * a / g.UMax
+		if dtx < dt {
+			dt = dtx
+		}
+		if acc[d] == nil {
+			continue
+		}
+		aMax := 0.0
+		for _, v := range acc[d] {
+			if av := math.Abs(v); av > aMax {
+				aMax = av
+			}
+		}
+		if aMax > 0 {
+			dtu := 2 * cflU * g.DU(d) / aMax
+			if dtu < dt {
+				dt = dtu
+			}
+		}
+	}
+	return dt
+}
+
+// Step advances one full time step of eq. (5):
+// u-kicks(dt/2) → x-drifts(dt) → u-kicks(dt/2).
+// acc holds the acceleration −∇φ per spatial cell (flat index). The paper's
+// sequence applies the same potential in both half-kicks; the hybrid driver
+// refreshes acc between steps.
+func (s *Solver) Step(dt, a float64, acc [3][]float64) error {
+	if err := s.KickHalf(dt, acc); err != nil {
+		return err
+	}
+	if err := s.Drift(dt, a); err != nil {
+		return err
+	}
+	return s.KickHalf(dt, acc)
+}
+
+// KickHalf applies the three velocity-space advections for dt/2.
+func (s *Solver) KickHalf(dt float64, acc [3][]float64) error {
+	ncell := s.g.NCells()
+	for d := 0; d < 3; d++ {
+		if len(acc[d]) != ncell {
+			return fmt.Errorf("vlasov: acc[%d] length %d != %d cells", d, len(acc[d]), ncell)
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if err := s.kickAxis(d, dt/2, acc[d]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drift applies the three position-space advections for dt.
+func (s *Solver) Drift(dt, a float64) error {
+	for d := 0; d < 3; d++ {
+		if err := s.driftAxis(d, dt, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// kickAxis advects every velocity cube along velocity axis d with the
+// per-cell CFL  c = acc·dt / Δu  (the minus sign of eq. (4) is carried by
+// the advection velocity being −∂φ/∂x = acc).
+func (s *Solver) kickAxis(d int, dt float64, accD []float64) error {
+	g := s.g
+	du := g.DU(d)
+	nu := g.NU
+	// Line geometry within a cube for axis d.
+	var nLine, stride, nPerp int
+	switch d {
+	case 0:
+		nLine, stride, nPerp = nu[0], nu[1]*nu[2], nu[1]*nu[2]
+	case 1:
+		nLine, stride, nPerp = nu[1], nu[2], nu[0]*nu[2]
+	default:
+		nLine, stride, nPerp = nu[2], 1, nu[0]*nu[1]
+	}
+	var firstErr error
+	var errMu sync.Mutex
+	s.parallelCells(func(w *worker, cell int) {
+		c := accD[cell] * dt / du
+		if c == 0 {
+			return
+		}
+		cube := g.CubeAt(cell)
+		loss := 0.0
+		for p := 0; p < nPerp; p++ {
+			off := perpOffset(d, p, nu)
+			line := w.line[:nLine]
+			for i := 0; i < nLine; i++ {
+				line[i] = float64(cube[off+i*stride])
+			}
+			var before float64
+			for _, v := range line {
+				before += v
+			}
+			if err := w.open.StepOpen(line, c); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			var after float64
+			for _, v := range line {
+				after += v
+			}
+			loss += before - after
+			for i := 0; i < nLine; i++ {
+				cube[off+i*stride] = float32(line[i])
+			}
+		}
+		if loss != 0 {
+			w.loss += loss // raw Σf; converted to mass units in addLoss
+		}
+	})
+	return firstErr
+}
+
+// perpOffset returns the cube offset of the p-th perpendicular line for
+// velocity axis d.
+func perpOffset(d, p int, nu [3]int) int {
+	switch d {
+	case 0: // lines vary jx; perp = (jy, jz)
+		return p // jy*nu2 + jz, stride nu1*nu2 applied per element
+	case 1: // lines vary jy; perp = (jx, jz)
+		jx, jz := p/nu[2], p%nu[2]
+		return jx*nu[1]*nu[2] + jz
+	default: // lines vary jz; perp = (jx, jy)
+		return p * nu[2]
+	}
+}
+
+// driftAxis advects along spatial axis d with per-velocity-index CFL
+// c = u_d·dt/(a²·Δx). Lines are periodic across the (single-block) box; the
+// decomposed version exchanges ghosts in package decomp before calling the
+// same kernels.
+func (s *Solver) driftAxis(d int, dt, a float64) error {
+	g := s.g
+	dx := g.DX(d)
+	nu := g.NU
+	ncube := g.NCube()
+	// Precompute CFL per velocity index along d.
+	nud := nu[d]
+	cfl := make([]float64, nud)
+	for j := 0; j < nud; j++ {
+		cfl[j] = g.U(d, j) * dt / (a * a * dx)
+	}
+	// Spatial line geometry.
+	var nLine, cellStride, nPerpSpace int
+	switch d {
+	case 0:
+		nLine, cellStride, nPerpSpace = g.NX, g.NY*g.NZ, g.NY*g.NZ
+	case 1:
+		nLine, cellStride, nPerpSpace = g.NY, g.NZ, g.NX*g.NZ
+	default:
+		nLine, cellStride, nPerpSpace = g.NZ, 1, g.NX*g.NY
+	}
+	if nLine < 6 {
+		return fmt.Errorf("vlasov: spatial extent %d along axis %d < 6 (SL-MPP5 stencil)", nLine, d)
+	}
+	var firstErr error
+	var errMu sync.Mutex
+	// Parallelise over perpendicular spatial columns; each column sweeps all
+	// velocity elements.
+	s.parallelN(nPerpSpace, func(w *worker, p int) {
+		base := spatialPerpOffset(d, p, g)
+		line := w.line[:nLine]
+		for e := 0; e < ncube; e++ {
+			j := velIndexAlong(d, e, nu)
+			c := cfl[j]
+			if c == 0 {
+				continue
+			}
+			off := base*ncube + e
+			str := cellStride * ncube
+			for i := 0; i < nLine; i++ {
+				line[i] = float64(g.Data[off+i*str])
+			}
+			if err := w.per.Step(line, c); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			for i := 0; i < nLine; i++ {
+				g.Data[off+i*str] = float32(line[i])
+			}
+		}
+	})
+	return firstErr
+}
+
+// spatialPerpOffset returns the flat spatial cell index of the p-th
+// perpendicular column for axis d (the column's first cell).
+func spatialPerpOffset(d, p int, g *phase.Grid) int {
+	switch d {
+	case 0: // lines vary ix; perp = (iy, iz)
+		return p
+	case 1: // lines vary iy; perp = (ix, iz)
+		ix, iz := p/g.NZ, p%g.NZ
+		return ix*g.NY*g.NZ + iz
+	default: // lines vary iz; perp = (ix, iy)
+		return p * g.NZ
+	}
+}
+
+// velIndexAlong extracts the velocity index along axis d from a flat cube
+// element index.
+func velIndexAlong(d, e int, nu [3]int) int {
+	switch d {
+	case 0:
+		return e / (nu[1] * nu[2])
+	case 1:
+		return (e / nu[2]) % nu[1]
+	default:
+		return e % nu[2]
+	}
+}
+
+// worker carries per-goroutine scratch.
+type worker struct {
+	line []float64
+	per  advect.Scheme // periodic stepper
+	open *advect.SLMPP5
+	loss float64
+}
+
+func (s *Solver) newWorker() *worker {
+	g := s.g
+	maxLen := g.NX
+	for _, n := range []int{g.NY, g.NZ, g.NU[0], g.NU[1], g.NU[2]} {
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	return &worker{
+		line: make([]float64, maxLen),
+		per:  s.proto.Clone(),
+		open: advect.NewSLMPP5(),
+	}
+}
+
+// parallelCells distributes spatial cells across workers.
+func (s *Solver) parallelCells(fn func(w *worker, cell int)) {
+	s.parallelN(s.g.NCells(), fn)
+}
+
+// parallelN distributes [0,n) across workers and collects boundary loss.
+func (s *Solver) parallelN(n int, fn func(w *worker, i int)) {
+	nw := s.workers
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		w := s.newWorker()
+		for i := 0; i < n; i++ {
+			fn(w, i)
+		}
+		s.addLoss(w)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + nw - 1) / nw
+	for k := 0; k < nw; k++ {
+		lo, hi := k*chunk, (k+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			w := s.newWorker()
+			for i := lo; i < hi; i++ {
+				fn(w, i)
+			}
+			s.addLoss(w)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (s *Solver) addLoss(w *worker) {
+	if w.loss == 0 {
+		return
+	}
+	g := s.g
+	// w.loss is a raw Σf over lost cell values; one phase-space cell has
+	// volume Δx³·Δu³, giving the escaped mass.
+	vol := g.DX(0) * g.DX(1) * g.DX(2)
+	du3 := g.DU(0) * g.DU(1) * g.DU(2)
+	s.mu.Lock()
+	s.BoundaryLoss += w.loss * vol * du3
+	s.mu.Unlock()
+	w.loss = 0
+}
