@@ -2,6 +2,7 @@ package vlasov6d
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 )
@@ -22,7 +23,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sim.Evolve(0.095, 10, nil); err != nil {
+	if _, err := Run(context.Background(), sim, 0.095, WithMaxSteps(10)); err != nil {
 		t.Fatal(err)
 	}
 	if sim.A <= 1.0/11 {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ import (
 	"vlasov6d/internal/analysis"
 	"vlasov6d/internal/cosmo"
 	"vlasov6d/internal/hybrid"
+	"vlasov6d/internal/runner"
 )
 
 func main() {
@@ -67,17 +69,18 @@ func main() {
 	}
 }
 
-// evolve runs a simulation from z=10 to aEnd, logging progress.
+// evolve runs a simulation from z=10 to aEnd under the unified runner.
 func evolve(cfg hybrid.Config, aEnd float64, label string) *hybrid.Simulation {
 	sim, err := hybrid.New(cfg, 0.0909)
 	if err != nil {
 		log.Fatalf("%s: %v", label, err)
 	}
 	log.Printf("%s: evolving z=10 → z=%.2f ...", label, 1/aEnd-1)
-	if err := sim.Evolve(aEnd, 100000, nil); err != nil {
+	rep, err := runner.Run(context.Background(), sim, aEnd, runner.WithMaxSteps(100000))
+	if err != nil {
 		log.Fatalf("%s: %v", label, err)
 	}
-	log.Printf("%s: done in %d steps (%.1fs wall)", label, sim.Tim.Steps, sim.Tim.Total.Seconds())
+	log.Printf("%s: done in %d steps (%.1fs wall)", label, rep.Steps, rep.Wall.Seconds())
 	return sim
 }
 

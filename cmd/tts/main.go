@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +21,7 @@ import (
 	"vlasov6d/internal/cosmo"
 	"vlasov6d/internal/hybrid"
 	"vlasov6d/internal/machine"
+	"vlasov6d/internal/runner"
 	"vlasov6d/internal/snapio"
 )
 
@@ -64,7 +66,7 @@ func liveComparison(ngrid, nu, npart int, aEnd float64, seed int64) {
 		if err != nil {
 			log.Fatalf("%s: %v", label, err)
 		}
-		if err := sim.Evolve(aEnd, 1000000, nil); err != nil {
+		if _, err := runner.Run(context.Background(), sim, aEnd, runner.WithMaxSteps(1000000)); err != nil {
 			log.Fatalf("%s: %v", label, err)
 		}
 		// Snapshot I/O, as in the paper's end-to-end accounting.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -32,21 +33,27 @@ func main() {
 
 	fmt.Printf("Landau damping: k·λ_D = %.2f, α = %.3f\n", k, alpha)
 	fmt.Printf("%8s %14s\n", "t", "field energy")
+	// The same Run driver as the 6D cosmological runs: fixed dt, with the
+	// peak bookkeeping riding along as a per-step observer.
 	type peak struct{ t, e float64 }
 	var peaks []peak
 	prev2, prev1 := 0.0, 0.0
-	for i := 0; i < steps; i++ {
-		if err := s.Step(dt); err != nil {
-			log.Fatal(err)
-		}
-		e := s.FieldEnergy()
-		if i%25 == 0 {
-			fmt.Printf("%8.2f %14.6e\n", float64(i)*dt, e)
-		}
-		if i >= 2 && prev1 > prev2 && prev1 > e {
-			peaks = append(peaks, peak{float64(i) * dt, prev1})
-		}
-		prev2, prev1 = prev1, e
+	_, err = vlasov6d.Run(context.Background(), s, steps*dt,
+		vlasov6d.WithFixedDT(dt),
+		vlasov6d.WithMaxSteps(steps),
+		vlasov6d.WithObserver(func(i int, _ vlasov6d.Solver) error {
+			e := s.FieldEnergy()
+			if i%25 == 0 {
+				fmt.Printf("%8.2f %14.6e\n", float64(i)*dt, e)
+			}
+			if i >= 2 && prev1 > prev2 && prev1 > e {
+				peaks = append(peaks, peak{float64(i) * dt, prev1})
+			}
+			prev2, prev1 = prev1, e
+			return nil
+		}))
+	if err != nil {
+		log.Fatal(err)
 	}
 	// Fit ln E over the oscillation peaks: slope = 2γ.
 	if len(peaks) < 3 {

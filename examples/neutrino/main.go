@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -20,14 +21,13 @@ func run(mnu float64) (*vlasov6d.Simulation, float64) {
 		NGrid:     8,
 		NU:        8,
 		NPartSide: 8,
-		PMFactor:  2,
 		Seed:      20211114, // shared phases across masses
 	}
-	sim, err := vlasov6d.NewSimulation(cfg, 1.0/11)
+	sim, err := vlasov6d.NewSimulation(cfg, 1.0/11, vlasov6d.WithPMFactor(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sim.Evolve(0.25, 100000, nil); err != nil {
+	if _, err := vlasov6d.Run(context.Background(), sim, 0.25, vlasov6d.WithMaxSteps(100000)); err != nil {
 		log.Fatal(err)
 	}
 	m := sim.Grid.ComputeMoments()

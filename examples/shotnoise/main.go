@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -24,27 +25,25 @@ func main() {
 		NGrid:     8,
 		NU:        8,
 		NPartSide: 8,
-		PMFactor:  2,
 		Seed:      7,
 	}
+	ctx := context.Background()
 	fmt.Println("evolving the Vlasov run ...")
-	simV, err := vlasov6d.NewSimulation(base, 1.0/11)
+	simV, err := vlasov6d.NewSimulation(base, 1.0/11, vlasov6d.WithPMFactor(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := simV.Evolve(0.2, 100000, nil); err != nil {
+	if _, err := vlasov6d.Run(ctx, simV, 0.2, vlasov6d.WithMaxSteps(100000)); err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("evolving the ν-particle baseline (8× CDM count, as TianNu) ...")
-	cfgP := base
-	cfgP.NuParticles = true
-	cfgP.NNuSide = 2 * base.NPartSide
-	simP, err := vlasov6d.NewSimulation(cfgP, 1.0/11)
+	simP, err := vlasov6d.NewSimulation(base, 1.0/11, vlasov6d.WithPMFactor(2),
+		vlasov6d.WithNuParticleBaseline(2*base.NPartSide))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := simP.Evolve(0.2, 100000, nil); err != nil {
+	if _, err := vlasov6d.Run(ctx, simP, 0.2, vlasov6d.WithMaxSteps(100000)); err != nil {
 		log.Fatal(err)
 	}
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -34,17 +35,23 @@ func main() {
 	fmt.Printf("two-stream instability: beams at ±%.1f, k = %.2f\n", v0, k)
 	fmt.Printf("%8s %14s\n", "t", "field energy")
 	peakE := e0
-	for i := 0; i < steps; i++ {
-		if err := s.Step(dt); err != nil {
-			log.Fatal(err)
-		}
-		e := s.FieldEnergy()
-		if e > peakE {
-			peakE = e
-		}
-		if i%40 == 0 {
-			fmt.Printf("%8.1f %14.6e\n", float64(i)*dt, e)
-		}
+	// Unified runner with a fixed dt; the growth history is recorded by the
+	// per-step observer.
+	_, err = vlasov6d.Run(context.Background(), s, steps*dt,
+		vlasov6d.WithFixedDT(dt),
+		vlasov6d.WithMaxSteps(steps),
+		vlasov6d.WithObserver(func(i int, _ vlasov6d.Solver) error {
+			e := s.FieldEnergy()
+			if e > peakE {
+				peakE = e
+			}
+			if i%40 == 0 {
+				fmt.Printf("%8.1f %14.6e\n", float64(i)*dt, e)
+			}
+			return nil
+		}))
+	if err != nil {
+		log.Fatal(err)
 	}
 	minF := math.Inf(1)
 	for _, v := range s.F {

@@ -1,0 +1,3 @@
+module vlasov6d
+
+go 1.24

@@ -13,6 +13,7 @@ package hybrid
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"time"
 
@@ -21,6 +22,8 @@ import (
 	"vlasov6d/internal/nbody"
 	"vlasov6d/internal/phase"
 	"vlasov6d/internal/poisson"
+	"vlasov6d/internal/runner"
+	"vlasov6d/internal/snapio"
 	"vlasov6d/internal/tree"
 	"vlasov6d/internal/vlasov"
 )
@@ -71,28 +74,15 @@ type Config struct {
 	NNuSide int
 }
 
-func (c *Config) setDefaults() error {
-	if err := c.Par.Validate(); err != nil {
-		return err
-	}
-	if c.Box <= 0 {
-		return fmt.Errorf("hybrid: invalid box %v", c.Box)
-	}
-	if !c.NoNeutrino {
-		if c.NGrid < 6 {
-			return fmt.Errorf("hybrid: NGrid %d < 6 (SL-MPP5 stencil)", c.NGrid)
-		}
-		if c.NU < 6 {
-			return fmt.Errorf("hybrid: NU %d < 6", c.NU)
-		}
-	}
-	if c.NPartSide < 2 {
-		return fmt.Errorf("hybrid: NPartSide %d < 2", c.NPartSide)
-	}
-	if c.PMFactor < 1 {
+// ApplyDefaults fills every unset (zero-valued) optional field with the
+// paper's value. It never touches a field the caller set explicitly, so a
+// negative or otherwise invalid setting survives to Validate and produces a
+// descriptive error instead of being silently replaced.
+func (c *Config) ApplyDefaults() {
+	if c.PMFactor == 0 {
 		c.PMFactor = 3
 	}
-	if c.UMaxFactor <= 0 {
+	if c.UMaxFactor == 0 {
 		c.UMaxFactor = 12
 	}
 	if c.Scheme == "" {
@@ -101,25 +91,75 @@ func (c *Config) setDefaults() error {
 	if c.Theta == 0 {
 		c.Theta = 0.5
 	}
-	if c.CFLX <= 0 {
+	if c.CFLX == 0 {
 		c.CFLX = 0.4
 	}
-	if c.CFLU <= 0 {
+	if c.CFLU == 0 {
 		c.CFLU = 0.4
 	}
-	if c.MaxDLnA <= 0 {
+	if c.MaxDLnA == 0 {
 		c.MaxDLnA = 0.02
 	}
-	if c.NuParticles {
-		if c.NoNeutrino {
-			return fmt.Errorf("hybrid: NuParticles and NoNeutrino are exclusive")
+	if c.NuParticles && c.NNuSide == 0 {
+		c.NNuSide = 2 * c.NPartSide
+	}
+}
+
+// Validate checks a defaulted Config and returns a descriptive error for
+// the first problem found. Everything a later Step would trip over —
+// non-positive domains, stencil-starved grids, PM meshes that are not an
+// integer refinement of the Vlasov grid — is rejected here, at construction
+// time.
+func (c *Config) Validate() error {
+	if err := c.Par.Validate(); err != nil {
+		return err
+	}
+	if c.Box <= 0 {
+		return fmt.Errorf("hybrid: Box = %g h⁻¹Mpc; the comoving box size must be positive", c.Box)
+	}
+	if c.NGrid < 0 || c.NU < 0 {
+		return fmt.Errorf("hybrid: negative grid shape NGrid = %d, NU = %d", c.NGrid, c.NU)
+	}
+	if c.NuParticles && c.NoNeutrino {
+		return fmt.Errorf("hybrid: NuParticles and NoNeutrino are exclusive")
+	}
+	if !c.NoNeutrino {
+		if c.NGrid < 6 {
+			return fmt.Errorf("hybrid: NGrid = %d; the SL-MPP5 stencil needs ≥ 6 spatial cells per side", c.NGrid)
 		}
-		if c.NNuSide == 0 {
-			c.NNuSide = 2 * c.NPartSide
+		if c.NU < 6 {
+			return fmt.Errorf("hybrid: NU = %d; the SL-MPP5 stencil needs ≥ 6 velocity cells per side", c.NU)
 		}
-		if c.NNuSide < 2 {
-			return fmt.Errorf("hybrid: NNuSide %d < 2", c.NNuSide)
+	}
+	if c.NPartSide < 2 {
+		return fmt.Errorf("hybrid: NPartSide = %d; need ≥ 2 CDM particles per side", c.NPartSide)
+	}
+	if c.PMFactor < 1 {
+		return fmt.Errorf("hybrid: PMFactor = %d; must be ≥ 1 (zero selects the paper's 3)", c.PMFactor)
+	}
+	if c.UMaxFactor <= 0 {
+		return fmt.Errorf("hybrid: UMaxFactor = %g; must be positive (zero selects the paper's 12)", c.UMaxFactor)
+	}
+	if c.Theta <= 0 {
+		return fmt.Errorf("hybrid: tree opening angle Theta = %g; must be positive (zero selects 0.5)", c.Theta)
+	}
+	if c.CFLX <= 0 || c.CFLU <= 0 {
+		return fmt.Errorf("hybrid: CFL targets (%g, %g) must be positive (zero selects 0.4)", c.CFLX, c.CFLU)
+	}
+	if c.MaxDLnA <= 0 {
+		return fmt.Errorf("hybrid: MaxDLnA = %g; the expansion cap must be positive (zero selects 0.02)", c.MaxDLnA)
+	}
+	if c.PMMesh < 0 {
+		return fmt.Errorf("hybrid: PMMesh = %d; must be non-negative (zero derives it from NGrid·PMFactor)", c.PMMesh)
+	}
+	if c.PMMesh > 0 && !c.NoNeutrino && !c.NuParticles {
+		if c.PMMesh < c.NGrid || c.PMMesh%c.NGrid != 0 {
+			return fmt.Errorf("hybrid: PMMesh = %d is not an integer refinement of NGrid = %d; "+
+				"force downsampling and moment resampling need PMMesh = k·NGrid", c.PMMesh, c.NGrid)
 		}
+	}
+	if c.NuParticles && c.NNuSide < 2 {
+		return fmt.Errorf("hybrid: NNuSide = %d; need ≥ 2 neutrino particles per side", c.NNuSide)
 	}
 	return nil
 }
@@ -160,12 +200,14 @@ type Simulation struct {
 	accNuPart [3][]float64 // neutrino-particle accelerations (baseline mode)
 	uT        float64
 	gen       *ic.Generator
+	primed    bool // forces valid for the current state
 }
 
 // New builds a simulation and generates initial conditions at scale factor
 // aInit.
 func New(cfg Config, aInit float64) (*Simulation, error) {
-	if err := cfg.setDefaults(); err != nil {
+	cfg.ApplyDefaults()
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if aInit <= 0 || aInit > 1 {
@@ -376,7 +418,17 @@ func (s *Simulation) computeForces() error {
 		}
 		s.Tim.Tree += time.Since(t1)
 	}
+	s.primed = true
 	return nil
+}
+
+// ensureForces computes forces once for the current state so SuggestDT has
+// valid accelerations before the first Step (and after a Restore).
+func (s *Simulation) ensureForces() error {
+	if s.primed {
+		return nil
+	}
+	return s.computeForces()
 }
 
 // downsampleAccel block-averages the PM-mesh acceleration onto the Vlasov
@@ -409,8 +461,13 @@ func (s *Simulation) downsampleAccel(meshAcc [3][]float64) {
 }
 
 // SuggestDT picks the global time step: Vlasov CFL targets, a particle
-// displacement cap of one PM cell, and the expansion cap MaxDLnA.
+// displacement cap of one PM cell, and the expansion cap MaxDLnA. Forces
+// are computed lazily for the first call; if that fails the expansion cap
+// alone is returned and the underlying error surfaces from the next Step.
 func (s *Simulation) SuggestDT() float64 {
+	if err := s.ensureForces(); err != nil {
+		return s.Cfg.MaxDLnA / s.Cfg.Par.Hubble(s.A)
+	}
 	a := s.A
 	dt := math.Inf(1)
 	if s.VSol != nil {
@@ -504,38 +561,54 @@ func (s *Simulation) kickAll(dt float64) error {
 	return s.Part.Kick(dt/2, s.accPart)
 }
 
-// Evolve advances the simulation to scale factor aEnd or maxSteps,
-// whichever comes first, invoking cb (when non-nil) after every step.
-func (s *Simulation) Evolve(aEnd float64, maxSteps int, cb func(step int, sim *Simulation) error) error {
-	if aEnd <= s.A {
-		return fmt.Errorf("hybrid: aEnd %v ≤ current a %v", aEnd, s.A)
+// Clock returns the run coordinate driven by the runner: the scale factor.
+func (s *Simulation) Clock() float64 { return s.A }
+
+// ClampDT shrinks the cosmic-time step dt so the scale factor does not
+// overshoot the target `until` (the runner's DTClamper capability: the
+// simulation steps in cosmic time but clocks in scale factor).
+func (s *Simulation) ClampDT(dt, until float64) float64 {
+	tEnd := s.Cfg.Par.CosmicTime(until)
+	if s.Time+dt > tEnd {
+		dt = tEnd - s.Time
 	}
-	for step := 0; step < maxSteps && s.A < aEnd; step++ {
-		// Forces must exist before the first SuggestDT call.
-		if step == 0 {
-			if err := s.computeForces(); err != nil {
-				return err
-			}
-		}
-		dt := s.SuggestDT()
-		// Do not overshoot aEnd.
-		tEnd := s.Cfg.Par.CosmicTime(aEnd)
-		if s.Time+dt > tEnd {
-			dt = tEnd - s.Time
-		}
-		if dt <= 0 {
-			break
-		}
-		if err := s.Step(dt); err != nil {
-			return err
-		}
-		if cb != nil {
-			if err := cb(step, s); err != nil {
-				return err
-			}
-		}
+	return dt
+}
+
+// Diagnostics reports the uniform per-step summary: scale factor, cosmic
+// time, total mass, plus redshift, per-component masses and the Vlasov
+// boundary loss under Extra.
+func (s *Simulation) Diagnostics() runner.Diagnostics {
+	nu, cdm := s.TotalMass()
+	extra := map[string]float64{
+		"z":        s.Redshift(),
+		"nu_mass":  nu,
+		"cdm_mass": cdm,
+	}
+	if s.VSol != nil {
+		extra["boundary_loss"] = s.VSol.BoundaryLoss
+	}
+	return runner.Diagnostics{Clock: s.A, Time: s.Time, Mass: nu + cdm, Extra: extra}
+}
+
+// CanCheckpoint reports whether the current mode can snapshot (the
+// runner's preflight capability): the ν-particle baseline cannot, because
+// the snapshot format stores a single particle set.
+func (s *Simulation) CanCheckpoint() error {
+	if s.NuPart != nil {
+		return fmt.Errorf("hybrid: checkpointing the ν-particle baseline is not supported " +
+			"(the snapshot format stores a single particle set)")
 	}
 	return nil
+}
+
+// Checkpoint writes a restorable snapshot through snapio (the runner's
+// Checkpointer capability). Restore rebuilds a Simulation from it.
+func (s *Simulation) Checkpoint(w io.Writer) (int64, error) {
+	if err := s.CanCheckpoint(); err != nil {
+		return 0, err
+	}
+	return snapio.Write(w, &snapio.Snapshot{A: s.A, Time: s.Time, Part: s.Part, Grid: s.Grid})
 }
 
 // TotalMass returns (ν mass, CDM mass) for conservation checks.
@@ -562,6 +635,13 @@ func (s *Simulation) Cosmo() cosmo.Params { return s.Cfg.Par }
 func Restore(cfg Config, a float64, part *nbody.Particles, grid *phase.Grid) (*Simulation, error) {
 	if part == nil {
 		return nil, fmt.Errorf("hybrid: restore needs particles")
+	}
+	if cfg.NuParticles {
+		// Mirrors Checkpoint: the snapshot holds no neutrino particles, and
+		// regenerating them from linear theory would silently mix evolved
+		// CDM with fresh neutrinos.
+		return nil, fmt.Errorf("hybrid: restoring the ν-particle baseline is not supported " +
+			"(the snapshot format stores a single particle set)")
 	}
 	cfgNoNu := cfg
 	if grid == nil && !cfg.NuParticles {
@@ -591,5 +671,6 @@ func Restore(cfg Config, a float64, part *nbody.Particles, grid *phase.Grid) (*S
 	}
 	s.A = a
 	s.Time = cfg.Par.CosmicTime(a)
+	s.primed = false // forces computed in New describe the discarded ICs
 	return s, nil
 }

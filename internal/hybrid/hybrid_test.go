@@ -1,12 +1,14 @@
 package hybrid
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"vlasov6d/internal/analysis"
 	"vlasov6d/internal/cosmo"
 	"vlasov6d/internal/nbody"
+	"vlasov6d/internal/runner"
 )
 
 // smallConfig is a laptop-scale hybrid run: 8³ Vlasov cells × 8³ velocity
@@ -24,22 +26,52 @@ func smallConfig() Config {
 }
 
 func TestConfigValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative Box", func(c *Config) { c.Box = -1 }},
+		{"zero Box", func(c *Config) { c.Box = 0 }},
+		{"NGrid below stencil", func(c *Config) { c.NGrid = 4 }},
+		{"zero NGrid", func(c *Config) { c.NGrid = 0 }},
+		{"negative NGrid", func(c *Config) { c.NGrid = -8 }},
+		{"NU below stencil", func(c *Config) { c.NU = 5 }},
+		{"negative NU", func(c *Config) { c.NU = -8 }},
+		{"NPartSide too small", func(c *Config) { c.NPartSide = 1 }},
+		{"negative PMFactor", func(c *Config) { c.PMFactor = -2 }},
+		{"negative UMaxFactor", func(c *Config) { c.UMaxFactor = -1 }},
+		{"negative Theta", func(c *Config) { c.Theta = -0.5 }},
+		{"negative CFLX", func(c *Config) { c.CFLX = -0.4 }},
+		{"negative MaxDLnA", func(c *Config) { c.MaxDLnA = -0.02 }},
+		{"negative PMMesh", func(c *Config) { c.PMMesh = -16 }},
+		{"PMMesh not a refinement", func(c *Config) { c.PMMesh = 12 }}, // NGrid = 8
+	}
+	for _, tc := range bad {
+		c := smallConfig()
+		tc.mut(&c)
+		if _, err := New(c, 0.1); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
 	c := smallConfig()
-	c.Box = -1
-	if _, err := New(c, 0.1); err == nil {
-		t.Fatal("negative box accepted")
-	}
-	c = smallConfig()
-	c.NGrid = 4
-	if _, err := New(c, 0.1); err == nil {
-		t.Fatal("NGrid < 6 accepted")
-	}
-	c = smallConfig()
 	if _, err := New(c, 0); err == nil {
 		t.Fatal("aInit = 0 accepted")
 	}
 	if _, err := New(c, 2); err == nil {
 		t.Fatal("aInit > 1 accepted")
+	}
+}
+
+func TestApplyDefaultsFillsPaperValues(t *testing.T) {
+	c := smallConfig()
+	c.PMFactor = 0
+	c.ApplyDefaults()
+	if c.PMFactor != 3 || c.UMaxFactor != 12 || c.Scheme != "slmpp5" ||
+		c.Theta != 0.5 || c.CFLX != 0.4 || c.CFLU != 0.4 || c.MaxDLnA != 0.02 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -161,34 +193,79 @@ func TestMomentumConservation(t *testing.T) {
 	}
 }
 
-func TestEvolveAdvancesToTarget(t *testing.T) {
+func TestRunnerAdvancesToTarget(t *testing.T) {
 	s, err := New(smallConfig(), 0.0909)
 	if err != nil {
 		t.Fatal(err)
 	}
 	calls := 0
-	if err := s.Evolve(0.095, 50, func(step int, sim *Simulation) error {
-		calls++
-		return nil
-	}); err != nil {
+	rep, err := runner.Run(context.Background(), s, 0.095,
+		runner.WithMaxSteps(50),
+		runner.WithObserver(func(step int, _ runner.Solver) error {
+			calls++
+			return nil
+		}))
+	if err != nil {
 		t.Fatal(err)
 	}
 	if s.A < 0.0949 {
 		t.Fatalf("a = %v, want ≈ 0.095", s.A)
 	}
 	if calls == 0 {
-		t.Fatal("callback never invoked")
+		t.Fatal("observer never invoked")
 	}
-	if s.Tim.Steps != calls {
-		t.Fatalf("timed steps %d != callbacks %d", s.Tim.Steps, calls)
+	if s.Tim.Steps != calls || rep.Steps != calls {
+		t.Fatalf("timed steps %d, report %d, observer calls %d", s.Tim.Steps, rep.Steps, calls)
 	}
 	if s.Tim.Vlasov == 0 || s.Tim.PM == 0 {
 		t.Fatal("phase timers not accumulating")
 	}
-	if err := s.Evolve(0.01, 1, nil); err == nil {
+	if _, err := runner.Run(context.Background(), s, 0.01); err == nil {
 		t.Fatal("backward evolution accepted")
 	}
 }
+
+func TestSolverContract(t *testing.T) {
+	s, err := New(smallConfig(), 0.0909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Clock(); got != s.A {
+		t.Fatalf("Clock %v != A %v", got, s.A)
+	}
+	// ClampDT caps the cosmic-time step at the target scale factor.
+	tEnd := s.Cfg.Par.CosmicTime(0.095)
+	if dt := s.ClampDT(1e12, 0.095); math.Abs(dt-(tEnd-s.Time)) > 1e-12*tEnd {
+		t.Fatalf("ClampDT %v, want %v", dt, tEnd-s.Time)
+	}
+	if dt := s.ClampDT(1e-12, 0.095); dt != 1e-12 {
+		t.Fatalf("ClampDT shrank an already-safe dt to %v", dt)
+	}
+	d := s.Diagnostics()
+	nu, cdm := s.TotalMass()
+	if d.Clock != s.A || d.Time != s.Time || math.Abs(d.Mass-(nu+cdm)) > 1e-12*(nu+cdm) {
+		t.Fatalf("diagnostics %+v", d)
+	}
+	if d.Extra["nu_mass"] != nu || d.Extra["cdm_mass"] != cdm {
+		t.Fatalf("diagnostics extras %+v", d.Extra)
+	}
+}
+
+func TestCheckpointRejectsNuParticleBaseline(t *testing.T) {
+	c := smallConfig()
+	c.NuParticles = true
+	s, err := New(c, 0.0909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint(discard{}); err == nil {
+		t.Fatal("ν-particle baseline checkpoint accepted (NuPart would be lost)")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
 func TestGravityAmplifiesContrast(t *testing.T) {
 	// Physics: over an expansion interval the CDM density contrast must
@@ -211,7 +288,7 @@ func TestGravityAmplifiesContrast(t *testing.T) {
 		return cdm, nu
 	}
 	c0, n0 := contrast()
-	if err := s.Evolve(0.14, 200, nil); err != nil {
+	if _, err := runner.Run(context.Background(), s, 0.14, runner.WithMaxSteps(200)); err != nil {
 		t.Fatal(err)
 	}
 	c1, n1 := contrast()
@@ -317,7 +394,7 @@ func TestLinearGrowthMatchesTheory(t *testing.T) {
 		return pk[0] // lowest-k bin
 	}
 	p0 := lowK()
-	if err := s.Evolve(a1, 100000, nil); err != nil {
+	if _, err := runner.Run(context.Background(), s, a1); err != nil {
 		t.Fatal(err)
 	}
 	p1 := lowK()
@@ -392,5 +469,12 @@ func TestRestoreValidation(t *testing.T) {
 	small, _ := nbody.NewParticles(8, 1, [3]float64{200, 200, 200})
 	if _, err := Restore(cfg, 0.1, small, s.Grid); err == nil {
 		t.Fatal("particle count mismatch accepted")
+	}
+	// The ν-particle baseline cannot restore: the snapshot has no neutrino
+	// particles and regenerating them would mix evolved CDM with fresh ICs.
+	nuCfg := smallConfig()
+	nuCfg.NuParticles = true
+	if _, err := Restore(nuCfg, 0.1, s.Part, nil); err == nil {
+		t.Fatal("ν-particle baseline restore accepted")
 	}
 }

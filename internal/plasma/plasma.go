@@ -20,6 +20,7 @@ import (
 
 	"vlasov6d/internal/advect"
 	"vlasov6d/internal/fft"
+	"vlasov6d/internal/runner"
 )
 
 // Solver advances f(x, v) on a periodic x ∈ [0, L) and open v ∈ [−Vmax, Vmax).
@@ -29,6 +30,12 @@ type Solver struct {
 	VMax   float64
 	// F is the distribution, row-major [NX][NV].
 	F []float64
+	// Time is the elapsed plasma time ω_p·t, advanced by Step. It doubles
+	// as the runner clock, so Run(ctx, s, T) integrates to t = T.
+	Time float64
+	// CFL is the target CFL number SuggestDT aims for (default 0.4; the
+	// semi-Lagrangian scheme tolerates larger values at reduced accuracy).
+	CFL float64
 
 	per  *advect.SLMPP5
 	open *advect.SLMPP5
@@ -52,6 +59,7 @@ func New(nx, nv int, boxL, vmax float64) (*Solver, error) {
 	}
 	return &Solver{
 		NX: nx, NV: nv, L: boxL, VMax: vmax,
+		CFL:  0.4,
 		F:    make([]float64, nx*nv),
 		per:  advect.NewSLMPP5(),
 		open: advect.NewSLMPP5(),
@@ -164,7 +172,51 @@ func (s *Solver) Step(dt float64) error {
 	if err := s.drift(dt); err != nil {
 		return err
 	}
-	return s.kick(dt / 2)
+	if err := s.kick(dt / 2); err != nil {
+		return err
+	}
+	s.Time += dt
+	return nil
+}
+
+// Clock returns the elapsed plasma time — the runner's run coordinate.
+func (s *Solver) Clock() float64 { return s.Time }
+
+// SuggestDT returns a stable step from the CFL targets: the fastest grid
+// velocity crossing a spatial cell and the strongest field crossing a
+// velocity cell.
+func (s *Solver) SuggestDT() float64 {
+	dt := s.CFL * s.DX() / s.VMax
+	// After any Step the field cached by the final kick is still exact —
+	// kicks advect in v only, leaving ρ and hence E unchanged — so skip the
+	// extra Poisson solve on the hot path.
+	e := s.e
+	if s.Time == 0 {
+		e = s.ElectricField()
+	}
+	emax := 0.0
+	for _, v := range e {
+		if a := math.Abs(v); a > emax {
+			emax = a
+		}
+	}
+	if emax > 0 {
+		if d := s.CFL * s.DV() / emax; d < dt {
+			dt = d
+		}
+	}
+	return dt
+}
+
+// Diagnostics reports time, total mass and the field energy (the standard
+// Landau-damping / two-stream observable).
+func (s *Solver) Diagnostics() runner.Diagnostics {
+	return runner.Diagnostics{
+		Clock: s.Time,
+		Time:  s.Time,
+		Mass:  s.TotalMass(),
+		Extra: map[string]float64{"field_energy": s.FieldEnergy()},
+	}
 }
 
 // drift advances ∂f/∂t + v ∂f/∂x = 0: for each velocity index the x-line is

@@ -202,3 +202,33 @@ func TestLandauStableMaxwellianStaysQuiet(t *testing.T) {
 		t.Fatalf("unperturbed plasma grew field energy %v", e)
 	}
 }
+
+func TestSolverContractForRunner(t *testing.T) {
+	// The solver carries its own clock and CFL-based dt suggestion so the
+	// unified runner can drive it like any other workload.
+	s, err := New(32, 64, 4*math.Pi, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LandauInit(0.01, 0.5, 1.0)
+	if s.Clock() != 0 {
+		t.Fatalf("initial clock %v", s.Clock())
+	}
+	dt := s.SuggestDT()
+	xBound := s.CFL * s.DX() / s.VMax
+	if dt <= 0 || dt > xBound+1e-15 {
+		t.Fatalf("SuggestDT %v outside (0, %v]", dt, xBound)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := s.Clock(), 3*dt; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("clock %v after 3 steps of %v", got, dt)
+	}
+	d := s.Diagnostics()
+	if d.Clock != s.Time || d.Mass <= 0 || d.Extra["field_energy"] < 0 {
+		t.Fatalf("diagnostics %+v", d)
+	}
+}

@@ -1,0 +1,308 @@
+// Package runner is the single driver loop every solver in this repository
+// runs under. The paper's production runs (Yoshikawa, Tanaka & Yoshida,
+// SC '21) are long-lived jobs with a fixed cadence of diagnostics and
+// checkpoints; this package factors that loop out of the individual solvers
+// so the hybrid Vlasov/N-body simulation, the 1D1V plasma solver and the
+// pure N-body / ν-particle control runs all execute through one Run call
+// with uniform cancellation, wall-clock budgeting, per-step observation and
+// checkpointing.
+//
+// The contract is deliberately small: a Solver steps itself by dt, suggests
+// its own stable dt, and reports a run coordinate ("clock") that Run drives
+// towards the caller's target. Capabilities beyond that — clamping dt in a
+// clock that is not the stepping coordinate, writing restorable snapshots —
+// are optional interfaces the driver discovers at run time.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Diagnostics is the uniform per-step health summary a Solver exposes to
+// observers: enough to log progress and watch conservation without knowing
+// which solver is running.
+type Diagnostics struct {
+	// Clock is the solver's run coordinate — the value Run drives towards
+	// its target: scale factor a for the cosmological solvers, plasma time
+	// ω_p·t for the 1D1V solver.
+	Clock float64
+	// Time is the solver's internal time coordinate (cosmic time in internal
+	// units for the hybrid run; identical to Clock for the plasma solver).
+	Time float64
+	// Mass is the conserved total mass, the first invariant every Vlasov
+	// solver is judged by.
+	Mass float64
+	// Extra carries solver-specific scalars (redshift, field energy,
+	// boundary loss, …) keyed by short snake_case names.
+	Extra map[string]float64
+}
+
+// Solver is the contract every workload implements to run under Run.
+type Solver interface {
+	// Step advances the solver by dt in its stepping coordinate.
+	Step(dt float64) error
+	// SuggestDT returns a stable time step for the current state (CFL
+	// conditions, expansion caps, …).
+	SuggestDT() float64
+	// Clock returns the run coordinate Run compares against its `until`
+	// target. It must be non-decreasing under Step.
+	Clock() float64
+	// Diagnostics summarises the current state for observers.
+	Diagnostics() Diagnostics
+}
+
+// DTClamper is implemented by solvers whose Clock is not the coordinate dt
+// is expressed in (the hybrid simulation steps in cosmic time but clocks in
+// scale factor). ClampDT shrinks dt so the next Step does not carry Clock
+// past until. Solvers without it are clamped directly in the clock
+// coordinate: dt ≤ until − Clock().
+type DTClamper interface {
+	ClampDT(dt, until float64) float64
+}
+
+// Checkpointer is implemented by solvers that can write a restorable
+// snapshot of their full state. Checkpoint returns the number of bytes
+// written (the paper charges snapshot volume to its end-to-end
+// time-to-solution, so callers get to account for it).
+type Checkpointer interface {
+	Checkpoint(w io.Writer) (int64, error)
+}
+
+// CheckpointPreflight lets a Checkpointer veto checkpointing for its
+// current mode before the run starts, so an incompatibility fails at step 0
+// instead of discarding every step up to the first cadence hit.
+type CheckpointPreflight interface {
+	CanCheckpoint() error
+}
+
+// Observer is a per-step diagnostics callback. It runs after each completed
+// step; returning a non-nil error aborts the run with that error.
+type Observer func(step int, s Solver) error
+
+// StopReason records why Run returned without error.
+type StopReason int
+
+const (
+	// ReasonNone means the run ended in an error before finishing.
+	ReasonNone StopReason = iota
+	// ReasonUntil means the clock reached the target.
+	ReasonUntil
+	// ReasonMaxSteps means the WithMaxSteps budget was exhausted.
+	ReasonMaxSteps
+	// ReasonWallClock means the WithWallClock budget was exhausted.
+	ReasonWallClock
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case ReasonUntil:
+		return "until"
+	case ReasonMaxSteps:
+		return "max-steps"
+	case ReasonWallClock:
+		return "wall-clock"
+	}
+	return "none"
+}
+
+// Report summarises a finished (or aborted) run. Run always returns a
+// Report, even alongside an error, so partial progress is visible.
+type Report struct {
+	// Steps is the number of completed steps.
+	Steps int
+	// Clock is the solver's run coordinate after the last completed step.
+	Clock float64
+	// Wall is the elapsed wall-clock time of the run.
+	Wall time.Duration
+	// Reason records why the run stopped (ReasonNone on error).
+	Reason StopReason
+	// Checkpoints lists the snapshot files written, oldest first.
+	Checkpoints []string
+	// CheckpointBytes is the total snapshot volume written.
+	CheckpointBytes int64
+}
+
+type options struct {
+	maxSteps   int
+	wallClock  time.Duration
+	observer   Observer
+	ckptDir    string
+	ckptEvery  int
+	fixedDT    float64
+	fixedDTSet bool
+}
+
+// Option configures a Run call.
+type Option func(*options)
+
+// WithMaxSteps caps the run at n steps (0 = unlimited).
+func WithMaxSteps(n int) Option {
+	return func(o *options) { o.maxSteps = n }
+}
+
+// WithWallClock stops the run once the elapsed wall-clock time reaches
+// budget. The budget is checked between steps and at least one step is
+// always taken, so a run under budget always makes forward progress that a
+// later resume can build on.
+func WithWallClock(budget time.Duration) Option {
+	return func(o *options) { o.wallClock = budget }
+}
+
+// WithObserver invokes obs after every completed step.
+func WithObserver(obs Observer) Option {
+	return func(o *options) { o.observer = obs }
+}
+
+// WithCheckpoint writes a snapshot into dir every everyN completed steps.
+// The solver must implement Checkpointer or Run fails before stepping.
+// Files are named ckpt_<clock>.v6d with a fixed-width zero-padded clock, so
+// lexicographic order is clock order even across a stop/resume cycle into
+// the same directory (a per-run step counter would restart at zero and
+// overwrite the earlier segment's files). Writes are atomic (temp file +
+// rename): the newest complete checkpoint is always safe to resume from.
+func WithCheckpoint(dir string, everyN int) Option {
+	return func(o *options) {
+		o.ckptDir = dir
+		o.ckptEvery = everyN
+	}
+}
+
+// WithFixedDT disables SuggestDT and steps with the given dt (still clamped
+// so the clock does not overshoot the target). dt must be positive; an
+// explicit zero is an error, not a fallback to adaptive stepping.
+func WithFixedDT(dt float64) Option {
+	return func(o *options) {
+		o.fixedDT = dt
+		o.fixedDTSet = true
+	}
+}
+
+// Run drives s until its Clock reaches until, or a step/wall-clock budget
+// runs out, or ctx is cancelled. Cancellation returns a partial-progress
+// error wrapping ctx.Err(); budget exhaustion is a normal stop recorded in
+// Report.Reason. The returned Report is never nil.
+func Run(ctx context.Context, s Solver, until float64, opts ...Option) (*Report, error) {
+	rep := &Report{}
+	if s == nil {
+		return rep, fmt.Errorf("runner: nil solver")
+	}
+	rep.Clock = s.Clock()
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if until <= rep.Clock {
+		return rep, fmt.Errorf("runner: target clock %v ≤ current clock %v", until, rep.Clock)
+	}
+	if o.fixedDTSet && o.fixedDT <= 0 {
+		return rep, fmt.Errorf("runner: fixed dt %v must be positive", o.fixedDT)
+	}
+	if o.maxSteps < 0 {
+		return rep, fmt.Errorf("runner: max steps %d must be non-negative", o.maxSteps)
+	}
+	var ckpt Checkpointer
+	if o.ckptDir != "" {
+		if o.ckptEvery < 1 {
+			return rep, fmt.Errorf("runner: checkpoint cadence %d must be ≥ 1 step", o.ckptEvery)
+		}
+		var ok bool
+		if ckpt, ok = s.(Checkpointer); !ok {
+			return rep, fmt.Errorf("runner: solver %T does not support checkpointing", s)
+		}
+		if p, ok := s.(CheckpointPreflight); ok {
+			if err := p.CanCheckpoint(); err != nil {
+				return rep, fmt.Errorf("runner: checkpointing unsupported: %w", err)
+			}
+		}
+		if err := os.MkdirAll(o.ckptDir, 0o755); err != nil {
+			return rep, fmt.Errorf("runner: checkpoint dir: %w", err)
+		}
+	}
+
+	start := time.Now()
+	finish := func(err error) (*Report, error) {
+		rep.Wall = time.Since(start)
+		rep.Clock = s.Clock()
+		return rep, err
+	}
+	for step := 0; ; step++ {
+		if err := ctx.Err(); err != nil {
+			return finish(fmt.Errorf("runner: cancelled after %d steps at clock %v: %w",
+				rep.Steps, s.Clock(), err))
+		}
+		if s.Clock() >= until {
+			rep.Reason = ReasonUntil
+			break
+		}
+		if o.maxSteps > 0 && rep.Steps >= o.maxSteps {
+			rep.Reason = ReasonMaxSteps
+			break
+		}
+		if o.wallClock > 0 && rep.Steps > 0 && time.Since(start) >= o.wallClock {
+			rep.Reason = ReasonWallClock
+			break
+		}
+		dt := o.fixedDT
+		if !o.fixedDTSet {
+			dt = s.SuggestDT()
+		}
+		if clamper, ok := s.(DTClamper); ok {
+			dt = clamper.ClampDT(dt, until)
+		} else if c := s.Clock(); c+dt > until {
+			dt = until - c
+		}
+		if dt <= 0 {
+			// dt underflow at the target: the clock cannot advance further.
+			rep.Reason = ReasonUntil
+			break
+		}
+		if err := s.Step(dt); err != nil {
+			return finish(fmt.Errorf("runner: step %d: %w", rep.Steps, err))
+		}
+		rep.Steps++
+		rep.Clock = s.Clock()
+		if o.observer != nil {
+			if err := o.observer(step, s); err != nil {
+				return finish(err)
+			}
+		}
+		if ckpt != nil && rep.Steps%o.ckptEvery == 0 {
+			path, n, err := writeCheckpoint(o.ckptDir, rep.Clock, ckpt)
+			if err != nil {
+				return finish(fmt.Errorf("runner: checkpoint at step %d: %w", rep.Steps, err))
+			}
+			rep.Checkpoints = append(rep.Checkpoints, path)
+			rep.CheckpointBytes += n
+		}
+	}
+	return finish(nil)
+}
+
+// writeCheckpoint atomically writes one snapshot file ckpt_<clock>.v6d,
+// zero-padded so lexicographic order is clock order.
+func writeCheckpoint(dir string, clock float64, c Checkpointer) (string, int64, error) {
+	final := filepath.Join(dir, fmt.Sprintf("ckpt_%014.8f.v6d", clock))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", 0, err
+	}
+	n, err := c.Checkpoint(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", n, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", n, err
+	}
+	return final, n, nil
+}

@@ -1,0 +1,80 @@
+// The unified Runner API: one driver loop — Run — shared by every solver
+// the facade exposes. The hybrid Vlasov/N-body simulation, its pure N-body
+// and ν-particle control modes, and the 1D1V plasma solver all implement
+// Solver, so a production service schedules any workload through the same
+// call with uniform cancellation, wall-clock budgets, per-step observers
+// and checkpoint cadence. See internal/runner for the driver itself.
+package vlasov6d
+
+import (
+	"context"
+	"time"
+
+	"vlasov6d/internal/runner"
+)
+
+// Solver is the single run-loop contract: step by dt, suggest a stable dt,
+// expose a run coordinate ("clock") and a diagnostics summary. Implemented
+// by *Simulation (clock = scale factor) and *PlasmaSolver (clock = plasma
+// time).
+type Solver = runner.Solver
+
+// RunDiagnostics is the uniform per-step health summary a Solver reports.
+type RunDiagnostics = runner.Diagnostics
+
+// RunReport summarises a finished (or aborted) run; Run always returns one,
+// even alongside an error, so partial progress is visible.
+type RunReport = runner.Report
+
+// RunOption configures a Run call.
+type RunOption = runner.Option
+
+// StopReason records why a run stopped without error.
+type StopReason = runner.StopReason
+
+// The stop reasons a RunReport can carry.
+const (
+	ReasonNone      = runner.ReasonNone
+	ReasonUntil     = runner.ReasonUntil
+	ReasonMaxSteps  = runner.ReasonMaxSteps
+	ReasonWallClock = runner.ReasonWallClock
+)
+
+// Run drives solver until its clock reaches `until` (a target scale factor
+// for cosmological runs, a target time for plasma runs), a step or
+// wall-clock budget runs out, or ctx is cancelled. Cancellation returns a
+// partial-progress error wrapping ctx.Err().
+func Run(ctx context.Context, solver Solver, until float64, opts ...RunOption) (*RunReport, error) {
+	return runner.Run(ctx, solver, until, opts...)
+}
+
+// WithMaxSteps caps the run at n steps (0 = unlimited).
+func WithMaxSteps(n int) RunOption { return runner.WithMaxSteps(n) }
+
+// WithWallClock stops the run once the elapsed wall-clock time reaches
+// budget; at least one step is always taken.
+func WithWallClock(budget time.Duration) RunOption { return runner.WithWallClock(budget) }
+
+// WithObserver invokes obs after every completed step; a non-nil error
+// aborts the run with that error.
+func WithObserver(obs func(step int, s Solver) error) RunOption {
+	return runner.WithObserver(obs)
+}
+
+// WithCheckpoint writes a snapshot into dir every everyN completed steps
+// through the snapshot format of WriteSnapshot/ReadSnapshot; resume with
+// RestoreSimulation. The solver must support checkpointing (*Simulation
+// does, except in the ν-particle baseline mode).
+func WithCheckpoint(dir string, everyN int) RunOption { return runner.WithCheckpoint(dir, everyN) }
+
+// WithFixedDT disables adaptive stepping and uses dt for every step (still
+// clamped at the target).
+func WithFixedDT(dt float64) RunOption { return runner.WithFixedDT(dt) }
+
+// Compile-time checks: every advertised workload drives through Run.
+var (
+	_ Solver              = (*Simulation)(nil)
+	_ Solver              = (*PlasmaSolver)(nil)
+	_ runner.DTClamper    = (*Simulation)(nil)
+	_ runner.Checkpointer = (*Simulation)(nil)
+)

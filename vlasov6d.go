@@ -5,10 +5,14 @@
 //
 // It provides, as a single public facade over the internal packages:
 //
+//   - the unified Runner API (Solver, Run, RunOption): one driver loop with
+//     context cancellation, wall-clock budgets, per-step observers and a
+//     checkpoint cadence, shared by every solver in the package;
 //   - the hybrid Vlasov/N-body cosmological simulation (Config, Simulation):
 //     massive neutrinos on a six-dimensional phase-space grid advanced with
 //     the single-stage fifth-order SL-MPP5 scheme, coupled through one
-//     gravitational potential to TreePM cold dark matter;
+//     gravitational potential to TreePM cold dark matter — plus its pure
+//     N-body and ν-particle control modes;
 //   - the background cosmology and linear theory (CosmologyParams,
 //     LinearPower) used for initial conditions;
 //   - the 1D advection schemes themselves (NewScheme) and the 1D1V
@@ -18,7 +22,8 @@
 //   - analysis utilities (power spectra, projections, moment maps) behind
 //     the science figures.
 //
-// Quick start:
+// Quick start — build a simulation with explicit options, then drive it to
+// z = 1 under the unified runner, checkpointing every 50 steps:
 //
 //	cfg := vlasov6d.Config{
 //	    Par:       vlasov6d.Planck2015(0.4), // ΣMν = 0.4 eV
@@ -26,12 +31,27 @@
 //	    NGrid:     12, NU: 10, NPartSide: 12,
 //	    Seed:      1,
 //	}
-//	sim, err := vlasov6d.NewSimulation(cfg, 1.0/11) // z = 10
+//	sim, err := vlasov6d.NewSimulation(cfg, 1.0/11, // z = 10
+//	    vlasov6d.WithScheme("slmpp5"), vlasov6d.WithPMFactor(2))
 //	...
-//	err = sim.Evolve(0.5, 100000, nil) // to z = 1
+//	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+//	defer stop()
+//	report, err := vlasov6d.Run(ctx, sim, 0.5, // to z = 1
+//	    vlasov6d.WithWallClock(2*time.Hour),
+//	    vlasov6d.WithCheckpoint("ckpts", 50),
+//	    vlasov6d.WithObserver(func(step int, s vlasov6d.Solver) error {
+//	        log.Printf("a = %.4f", s.Diagnostics().Clock)
+//	        return nil
+//	    }))
+//
+// The same Run call drives a PlasmaSolver (Landau damping, two-stream) or a
+// pure N-body control run (WithoutNeutrinos); a checkpoint written by Run is
+// resumed with ReadSnapshot + RestoreSimulation.
 package vlasov6d
 
 import (
+	"fmt"
+
 	"vlasov6d/internal/advect"
 	"vlasov6d/internal/analysis"
 	"vlasov6d/internal/cosmo"
@@ -67,10 +87,79 @@ type Config = hybrid.Config
 // Simulation is a live hybrid Vlasov/N-body run.
 type Simulation = hybrid.Simulation
 
+// SimOption adjusts a Config before construction. Options make the paper's
+// defaulting explicit: every knob a zero Config field would silently select
+// has a named, documented option, and anything left zero is filled by
+// Config.ApplyDefaults with the paper's value.
+type SimOption func(*Config)
+
+// WithScheme selects the Vlasov advection scheme by name (default
+// "slmpp5"; see SchemeNames).
+func WithScheme(name string) SimOption { return func(c *Config) { c.Scheme = name } }
+
+// WithPMFactor sets the PM-mesh refinement over the Vlasov grid per side
+// (the paper's value is 3).
+func WithPMFactor(f int) SimOption { return func(c *Config) { c.PMFactor = f } }
+
+// WithPMMesh overrides the PM mesh side directly; it must be an integer
+// multiple of NGrid when the Vlasov grid is active.
+func WithPMMesh(n int) SimOption { return func(c *Config) { c.PMMesh = n } }
+
+// WithUMaxFactor sets the velocity-space extent in Fermi-Dirac thermal
+// scales (the paper's value is 12).
+func WithUMaxFactor(f float64) SimOption { return func(c *Config) { c.UMaxFactor = f } }
+
+// WithTreeOpening sets the tree opening angle θ (default 0.5).
+func WithTreeOpening(theta float64) SimOption { return func(c *Config) { c.Theta = theta } }
+
+// WithCFL sets the Vlasov CFL targets in position and velocity space
+// (default 0.4 each).
+func WithCFL(x, u float64) SimOption {
+	return func(c *Config) { c.CFLX, c.CFLU = x, u }
+}
+
+// WithMaxDLnA caps the expansion per step (default 0.02).
+func WithMaxDLnA(d float64) SimOption { return func(c *Config) { c.MaxDLnA = d } }
+
+// WithoutTree disables the short-range force (PM-only N-body gravity).
+func WithoutTree() SimOption { return func(c *Config) { c.NoTree = true } }
+
+// WithoutNeutrinos disables the Vlasov component entirely — the pure N-body
+// control run.
+func WithoutNeutrinos() SimOption { return func(c *Config) { c.NoNeutrino = true } }
+
+// WithNuParticleBaseline switches the neutrino component to TianNu-style
+// particles (the §5.4 baseline) with nnuSide³ particles; nnuSide = 0
+// selects the paper's 2·NPartSide.
+func WithNuParticleBaseline(nnuSide int) SimOption {
+	return func(c *Config) {
+		c.NuParticles = true
+		c.NNuSide = nnuSide
+	}
+}
+
 // NewSimulation builds a simulation with initial conditions at scale factor
-// aInit (z = 1/aInit − 1).
-func NewSimulation(cfg Config, aInit float64) (*Simulation, error) {
+// aInit (z = 1/aInit − 1), after applying the options to cfg. The config is
+// validated up front: invalid shapes or domains fail here with a
+// descriptive error, never as a panic inside the first Step.
+func NewSimulation(cfg Config, aInit float64, opts ...SimOption) (*Simulation, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	return hybrid.New(cfg, aInit)
+}
+
+// RestoreSimulation rebuilds a simulation from a snapshot (for example a
+// checkpoint written by Run under WithCheckpoint). The config must describe
+// the same discretisation the snapshot was taken with.
+func RestoreSimulation(cfg Config, snap *Snapshot, opts ...SimOption) (*Simulation, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("vlasov6d: nil snapshot")
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return hybrid.Restore(cfg, snap.A, snap.Part, snap.Grid)
 }
 
 // PhaseGrid is the six-dimensional phase-space distribution grid.
