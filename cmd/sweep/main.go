@@ -1,0 +1,172 @@
+// Command sweep runs a parameter-sweep campaign — the batch-scheduler
+// counterpart of the single-run vlasov6d binary. The default sweep is a
+// scheme × resolution grid of Landau-damping validation runs: every
+// advection scheme at every phase-space resolution is driven through the
+// shared RunBatch worker pool, each job measures its own damping rate from
+// the field-energy peaks (delivered through the async observer pipeline,
+// off the job's step loop), and the final table compares every cell of the
+// grid against the kinetic-theory rate from the plasma dispersion function.
+//
+// Example:
+//
+//	sweep -schemes slmpp5,mp5,upwind1 -res 32x64,64x128 -workers 4 -wall 2m
+//
+// Job status transitions stream as they happen (running → done/failed), so
+// a long sweep is observable while it runs; the batch shares one wall-clock
+// budget, and Ctrl-C cancels running jobs and skips queued ones.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"vlasov6d"
+	"vlasov6d/internal/analysis"
+)
+
+// cell is one point of the scheme × resolution grid plus the damping-rate
+// fit its observer accumulates. Each cell's observer runs on its own job's
+// async pipeline goroutine, so the fields need no locking.
+type cell struct {
+	scheme string
+	nx, nv int
+	fit    analysis.DecayFit
+}
+
+// observe feeds the field energy to the damping-rate fit. It rides the
+// async observer pipeline: the job's step loop only enqueues diagnostics
+// snapshots.
+func (c *cell) observe(step int, d vlasov6d.RunDiagnostics) error {
+	c.fit.Add(d.Time, d.Extra["field_energy"])
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		schemes = flag.String("schemes", "slmpp5,mp5,upwind1", "comma-separated x-drift advection schemes")
+		res     = flag.String("res", "32x64,64x128", "comma-separated NXxNV phase-space resolutions")
+		k       = flag.Float64("k", 0.5, "perturbation wavenumber (Debye-length units)")
+		alpha   = flag.Float64("alpha", 0.01, "perturbation amplitude")
+		until   = flag.Float64("until", 25, "integration time ω_p·t")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		wall    = flag.Duration("wall", 0, "shared wall-clock budget for the whole sweep (0 = unlimited)")
+	)
+	flag.Parse()
+
+	var grid []*cell
+	for _, sc := range strings.Split(*schemes, ",") {
+		sc = strings.TrimSpace(sc)
+		if sc == "" {
+			continue
+		}
+		for _, rs := range strings.Split(*res, ",") {
+			nx, nv, err := parseRes(rs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			grid = append(grid, &cell{scheme: sc, nx: nx, nv: nv})
+		}
+	}
+	if len(grid) == 0 {
+		log.Fatal("empty sweep: no schemes or resolutions")
+	}
+
+	theory := vlasov6d.LandauDampingRate(*k, 1)
+	fmt.Printf("Landau sweep: %d jobs (%s × %s), k·λ_D = %.2f, theory γ = %.4f\n",
+		len(grid), *schemes, *res, *k, theory)
+
+	jobs := make([]vlasov6d.BatchJob, len(grid))
+	for i, c := range grid {
+		c := c
+		jobs[i] = vlasov6d.BatchJob{
+			Name:  fmt.Sprintf("%s@%dx%d", c.scheme, c.nx, c.nv),
+			Until: *until,
+			New: func() (vlasov6d.Solver, error) {
+				s, err := vlasov6d.NewPlasmaSolverWithScheme(c.nx, c.nv, 2*math.Pi/(*k), 8, c.scheme)
+				if err != nil {
+					return nil, err
+				}
+				s.LandauInit(*alpha, *k, 1)
+				return s, nil
+			},
+			Opts: []vlasov6d.RunOption{
+				vlasov6d.WithAsyncObserver(c.observe, vlasov6d.WithAsyncBuffer(256)),
+			},
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	batchOpts := []vlasov6d.BatchOption{
+		vlasov6d.WithBatchNotify(func(u vlasov6d.BatchUpdate) {
+			switch u.Status {
+			case vlasov6d.JobRunning:
+				log.Printf("%-18s running", u.Name)
+			case vlasov6d.JobDone:
+				log.Printf("%-18s done in %6.2fs (%d steps, stop: %v)",
+					u.Name, u.Report.Wall.Seconds(), u.Report.Steps, u.Report.Reason)
+			case vlasov6d.JobFailed:
+				log.Printf("%-18s FAILED: %v", u.Name, u.Err)
+			case vlasov6d.JobCancelled:
+				log.Printf("%-18s cancelled", u.Name)
+			}
+		}),
+	}
+	if *workers > 0 {
+		batchOpts = append(batchOpts, vlasov6d.WithBatchWorkers(*workers))
+	}
+	if *wall > 0 {
+		batchOpts = append(batchOpts, vlasov6d.WithBatchWallClock(*wall))
+	}
+
+	start := time.Now()
+	results, err := vlasov6d.RunBatch(ctx, jobs, batchOpts...)
+	if err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-12s %9s %10s %10s %8s  %s\n",
+		"scheme", "NX×NV", "γ fit", "γ theory", "err %", "status")
+	for i, r := range results {
+		c := grid[i]
+		label := fmt.Sprintf("%d×%d", c.nx, c.nv)
+		if r.Status != vlasov6d.JobDone || c.fit.Peaks() < 3 {
+			fmt.Printf("%-12s %9s %10s %10.4f %8s  %s\n",
+				c.scheme, label, "—", theory, "—", r.Status)
+			continue
+		}
+		gamma := c.fit.Gamma()
+		errPct := 100 * math.Abs(gamma-theory) / math.Abs(theory)
+		fmt.Printf("%-12s %9s %10.4f %10.4f %8.1f  %s\n",
+			c.scheme, label, gamma, theory, errPct, r.Status)
+	}
+	fmt.Printf("\nsweep finished in %.2fs wall\n", time.Since(start).Seconds())
+	if ctx.Err() != nil {
+		os.Exit(1)
+	}
+}
+
+// parseRes parses "NXxNV" (e.g. "64x128").
+func parseRes(s string) (nx, nv int, err error) {
+	parts := strings.Split(strings.TrimSpace(s), "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("resolution %q is not NXxNV", s)
+	}
+	if nx, err = strconv.Atoi(parts[0]); err != nil {
+		return 0, 0, fmt.Errorf("resolution %q: %w", s, err)
+	}
+	if nv, err = strconv.Atoi(parts[1]); err != nil {
+		return 0, 0, fmt.Errorf("resolution %q: %w", s, err)
+	}
+	return nx, nv, nil
+}

@@ -7,8 +7,10 @@
 // Example:
 //
 //	vlasov6d -box 200 -ngrid 12 -nu 10 -npart 12 -mnu 0.4 -zinit 10 -zend 2 \
-//	         -checkpoint ckpts -checkpoint-every 50 -snapshot out.v6d -spectrum pk.csv
-//	vlasov6d -resume ckpts/ckpt_00000.25000000.v6d -zend 2  # pick up where it stopped
+//	         -checkpoint ckpts -checkpoint-every 50 -checkpoint-keep 3 \
+//	         -snapshot out.v6d -spectrum pk.csv
+//	vlasov6d -resume ckpts -zend 2   # pick up from the newest checkpoint
+//	vlasov6d -resume ckpts/ckpt_00000.25000000.v6d -zend 2   # or a specific one
 //
 // The run prints a per-step log line (a, z, dt, conservation checks) and the
 // final wall-clock decomposition by part (the paper's Fig. 7 categories).
@@ -41,9 +43,10 @@ func main() {
 		scheme    = flag.String("scheme", "slmpp5", "advection scheme: slmpp5|mp5|upwind1|laxwendroff2")
 		seed      = flag.Int64("seed", 20211114, "IC random seed")
 		baseline  = flag.Bool("nu-particles", false, "use the TianNu-style ν-particle baseline instead of the Vlasov grid")
-		resume    = flag.String("resume", "", "restart from this snapshot instead of generating initial conditions")
+		resume    = flag.String("resume", "", "restart from this snapshot file — or the newest checkpoint when given a directory")
 		ckptDir   = flag.String("checkpoint", "", "write checkpoints into this directory")
 		ckptEvery = flag.Int("checkpoint-every", 50, "checkpoint cadence in steps")
+		ckptKeep  = flag.Int("checkpoint-keep", 0, "keep only the newest N checkpoints (0 = keep all)")
 		wall      = flag.Duration("wall", 0, "wall-clock budget (0 = unlimited), e.g. 30m")
 		maxSteps  = flag.Int("max-steps", 1000000, "step budget (0 = unlimited)")
 		snap      = flag.String("snapshot", "", "write a final snapshot to this path")
@@ -65,13 +68,9 @@ func main() {
 		vlasov6d.WithPMFactor(*pmf),
 	}
 	if *baseline {
+		// The ν-particle baseline checkpoints through snapio format v2's
+		// second particle section, so -checkpoint works in every mode.
 		opts = append(opts, vlasov6d.WithNuParticleBaseline(0))
-		// Fail fast: the snapshot format cannot hold the neutrino particle
-		// set, so a checkpoint at the first cadence would kill the run after
-		// wasting every step up to it.
-		if *ckptDir != "" {
-			log.Fatal("-checkpoint is not supported with -nu-particles (snapshot format stores a single particle set)")
-		}
 	}
 	aInit := 1 / (1 + *zinit)
 	aEnd := 1 / (1 + *zend)
@@ -79,18 +78,23 @@ func main() {
 	var sim *vlasov6d.Simulation
 	var err error
 	if *resume != "" {
-		f, ferr := os.Open(*resume)
-		if ferr != nil {
-			log.Fatal(ferr)
+		var sp *vlasov6d.Snapshot
+		var src = *resume
+		if st, serr := os.Stat(*resume); serr == nil && st.IsDir() {
+			sp, src, err = vlasov6d.ResumeLatest(*resume)
+		} else {
+			var f *os.File
+			if f, err = os.Open(*resume); err == nil {
+				sp, err = vlasov6d.ReadSnapshot(f)
+				f.Close()
+			}
 		}
-		sp, rerr := vlasov6d.ReadSnapshot(f)
-		f.Close()
-		if rerr != nil {
-			log.Fatal(rerr)
+		if err != nil {
+			log.Fatal(err)
 		}
 		sim, err = vlasov6d.RestoreSimulation(cfg, sp, opts...)
 		if err == nil {
-			log.Printf("resumed from %s at a = %.4f (z = %.2f)", *resume, sim.A, sim.Redshift())
+			log.Printf("resumed from %s at a = %.4f (z = %.2f)", src, sim.A, sim.Redshift())
 		}
 	} else {
 		sim, err = vlasov6d.NewSimulation(cfg, aInit, opts...)
@@ -124,6 +128,12 @@ func main() {
 	}
 	if *ckptDir != "" {
 		runOpts = append(runOpts, vlasov6d.WithCheckpoint(*ckptDir, *ckptEvery))
+		if *ckptKeep > 0 {
+			runOpts = append(runOpts, vlasov6d.WithCheckpointKeep(*ckptKeep))
+		}
+		// Snapshot I/O overlaps compute: the hot loop captures state and the
+		// async pipeline writes it (a nil observer routes only checkpoints).
+		runOpts = append(runOpts, vlasov6d.WithAsyncObserver(nil))
 	}
 	rep, err := vlasov6d.Run(ctx, sim, aEnd, runOpts...)
 	if err != nil {
@@ -156,7 +166,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		n, err := vlasov6d.WriteSnapshot(f, &vlasov6d.Snapshot{A: sim.A, Time: sim.Time, Part: sim.Part, Grid: sim.Grid})
+		n, err := vlasov6d.WriteSnapshot(f, &vlasov6d.Snapshot{A: sim.A, Time: sim.Time, Part: sim.Part, Grid: sim.Grid, NuPart: sim.NuPart})
 		if err != nil {
 			log.Fatal(err)
 		}

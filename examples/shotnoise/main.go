@@ -27,24 +27,47 @@ func main() {
 		NPartSide: 8,
 		Seed:      7,
 	}
-	ctx := context.Background()
-	fmt.Println("evolving the Vlasov run ...")
-	simV, err := vlasov6d.NewSimulation(base, 1.0/11, vlasov6d.WithPMFactor(2))
+	// The comparison pair runs concurrently through the batch scheduler —
+	// one worker each for the Vlasov run and the ν-particle baseline, the
+	// same RunBatch call a production sweep uses.
+	var simV, simP *vlasov6d.Simulation
+	jobs := []vlasov6d.BatchJob{
+		{
+			Name:  "vlasov",
+			Until: 0.2,
+			New: func() (vlasov6d.Solver, error) {
+				var err error
+				simV, err = vlasov6d.NewSimulation(base, 1.0/11, vlasov6d.WithPMFactor(2))
+				return simV, err
+			},
+			Opts: []vlasov6d.RunOption{vlasov6d.WithMaxSteps(100000)},
+		},
+		{
+			Name:  "nu-particles",
+			Until: 0.2,
+			New: func() (vlasov6d.Solver, error) {
+				var err error
+				simP, err = vlasov6d.NewSimulation(base, 1.0/11, vlasov6d.WithPMFactor(2),
+					vlasov6d.WithNuParticleBaseline(2*base.NPartSide))
+				return simP, err
+			},
+			Opts: []vlasov6d.RunOption{vlasov6d.WithMaxSteps(100000)},
+		},
+	}
+	fmt.Println("evolving the Vlasov run and the ν-particle baseline (8× CDM count, as TianNu) concurrently ...")
+	results, err := vlasov6d.RunBatch(context.Background(), jobs,
+		vlasov6d.WithBatchNotify(func(u vlasov6d.BatchUpdate) {
+			if u.Status == vlasov6d.JobDone {
+				fmt.Printf("  %-14s done: %d steps in %.2fs\n", u.Name, u.Report.Steps, u.Report.Wall.Seconds())
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := vlasov6d.Run(ctx, simV, 0.2, vlasov6d.WithMaxSteps(100000)); err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Println("evolving the ν-particle baseline (8× CDM count, as TianNu) ...")
-	simP, err := vlasov6d.NewSimulation(base, 1.0/11, vlasov6d.WithPMFactor(2),
-		vlasov6d.WithNuParticleBaseline(2*base.NPartSide))
-	if err != nil {
-		log.Fatal(err)
-	}
-	if _, err := vlasov6d.Run(ctx, simP, 0.2, vlasov6d.WithMaxSteps(100000)); err != nil {
-		log.Fatal(err)
+	for _, r := range results {
+		if r.Status != vlasov6d.JobDone {
+			log.Fatalf("job %s: %v (%v)", r.Name, r.Status, r.Err)
+		}
 	}
 
 	momV := simV.Grid.ComputeMoments()

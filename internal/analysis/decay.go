@@ -1,0 +1,50 @@
+// Exponential decay-rate measurement for oscillating diagnostics — the
+// standard way a Landau-damping run is reduced to one number. The field
+// energy E(t) of a damped Langmuir wave oscillates under an envelope
+// e^{2γt}; fitting ln E over the oscillation *peaks* recovers γ without
+// the phase sensitivity of instantaneous ratios.
+package analysis
+
+import "math"
+
+// DecayFit incrementally measures the exponential decay (or growth) rate of
+// an oscillating positive signal from its local maxima. Feed samples in
+// time order with Add; Gamma returns the least-squares slope of ln e over
+// the detected peaks divided by two (energy ∝ amplitude², so the amplitude
+// rate is half the energy rate). The zero value is ready to use.
+type DecayFit struct {
+	samples          int
+	prev2, prev1     float64
+	prevT            float64
+	sx, sy, sxx, sxy float64
+	peaks            int
+}
+
+// Add feeds the next (t, e) sample. Samples must arrive in increasing t;
+// e must be positive at the peaks (ln is taken there).
+func (f *DecayFit) Add(t, e float64) {
+	if f.samples >= 2 && f.prev1 > f.prev2 && f.prev1 > e {
+		pt, py := f.prevT, math.Log(f.prev1)
+		f.sx += pt
+		f.sy += py
+		f.sxx += pt * pt
+		f.sxy += pt * py
+		f.peaks++
+	}
+	f.prev2, f.prev1, f.prevT = f.prev1, e, t
+	f.samples++
+}
+
+// Peaks returns the number of local maxima detected so far. A trustworthy
+// Gamma needs at least three.
+func (f *DecayFit) Peaks() int { return f.peaks }
+
+// Gamma returns the fitted amplitude rate γ (negative for damping) from
+// ln e_peak ≈ 2γ·t + c, or 0 while fewer than two peaks are available.
+func (f *DecayFit) Gamma() float64 {
+	if f.peaks < 2 {
+		return 0
+	}
+	n := float64(f.peaks)
+	return (n*f.sxy - f.sx*f.sy) / (n*f.sxx - f.sx*f.sx) / 2
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDecayFitRecoversKnownRate(t *testing.T) {
+	// E(t) = e^{2γt}·cos²(ωt) has peaks on the e^{2γt} envelope.
+	const gamma, omega, dt = -0.15, 1.4, 0.01
+	var f DecayFit
+	for i := 0; i < 3000; i++ {
+		tt := float64(i) * dt
+		c := math.Cos(omega * tt)
+		f.Add(tt, math.Exp(2*gamma*tt)*c*c)
+	}
+	if f.Peaks() < 5 {
+		t.Fatalf("only %d peaks detected", f.Peaks())
+	}
+	if got := f.Gamma(); math.Abs(got-gamma) > 1e-3 {
+		t.Fatalf("fitted γ = %v, want %v", got, gamma)
+	}
+}
+
+func TestDecayFitNeedsTwoPeaks(t *testing.T) {
+	var f DecayFit
+	f.Add(0, 1)
+	f.Add(1, 2)
+	f.Add(2, 1) // first peak at t=1
+	if f.Peaks() != 1 {
+		t.Fatalf("peaks %d", f.Peaks())
+	}
+	if f.Gamma() != 0 {
+		t.Fatalf("γ %v before two peaks", f.Gamma())
+	}
+}

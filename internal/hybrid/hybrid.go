@@ -206,6 +206,15 @@ type Simulation struct {
 // New builds a simulation and generates initial conditions at scale factor
 // aInit.
 func New(cfg Config, aInit float64) (*Simulation, error) {
+	return build(cfg, aInit, true)
+}
+
+// build constructs a Simulation. With fill it generates the component
+// initial conditions (the 6D grid fill and the particle displacement pass —
+// by far the most expensive part of construction); without, it leaves the
+// component state (Part, Grid/VSol, NuPart) nil for the caller to install,
+// making a checkpoint restore O(state size) instead of O(IC generation).
+func build(cfg Config, aInit float64, fill bool) (*Simulation, error) {
 	cfg.ApplyDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -248,6 +257,12 @@ func New(cfg Config, aInit float64) (*Simulation, error) {
 	if 4.5*s.rs > cfg.Box/2 {
 		s.Cfg.NoTree = true
 	}
+	s.rhoPM = make([]float64, pm.Size())
+	s.phiLong = make([]float64, pm.Size())
+	s.phiFull = make([]float64, pm.Size())
+	if !fill {
+		return s, nil
+	}
 
 	// Components.
 	if cfg.NuParticles {
@@ -255,10 +270,7 @@ func New(cfg Config, aInit float64) (*Simulation, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.NuPart = nuP
-		for d := 0; d < 3; d++ {
-			s.accNuPart[d] = make([]float64, nuP.N)
-		}
+		s.installNuParticles(nuP)
 	} else if !cfg.NoNeutrino {
 		umax := cfg.UMaxFactor * s.uT
 		g, err := phase.New(cfg.NGrid, cfg.NGrid, cfg.NGrid,
@@ -270,29 +282,48 @@ func New(cfg Config, aInit float64) (*Simulation, error) {
 		if err := gen.FillNeutrinoGrid(g, aInit); err != nil {
 			return nil, err
 		}
-		s.Grid = g
-		vs, err := vlasov.New(g, cfg.Scheme)
-		if err != nil {
+		if err := s.installGrid(g); err != nil {
 			return nil, err
-		}
-		s.VSol = vs
-		ncell := g.NCells()
-		for d := 0; d < 3; d++ {
-			s.accCell[d] = make([]float64, ncell)
 		}
 	}
 	part, err := gen.CDMParticles(cfg.NPartSide, aInit)
 	if err != nil {
 		return nil, err
 	}
+	s.installParticles(part)
+	return s, nil
+}
+
+// installParticles adopts the CDM particle set and sizes its force arrays.
+func (s *Simulation) installParticles(part *nbody.Particles) {
 	s.Part = part
 	for d := 0; d < 3; d++ {
 		s.accPart[d] = make([]float64, part.N)
 	}
-	s.rhoPM = make([]float64, pm.Size())
-	s.phiLong = make([]float64, pm.Size())
-	s.phiFull = make([]float64, pm.Size())
-	return s, nil
+}
+
+// installNuParticles adopts the ν-particle set and sizes its force arrays.
+func (s *Simulation) installNuParticles(nuP *nbody.Particles) {
+	s.NuPart = nuP
+	for d := 0; d < 3; d++ {
+		s.accNuPart[d] = make([]float64, nuP.N)
+	}
+}
+
+// installGrid adopts the phase-space grid, builds its Vlasov solver, and
+// sizes the cell force arrays.
+func (s *Simulation) installGrid(g *phase.Grid) error {
+	vs, err := vlasov.New(g, s.Cfg.Scheme)
+	if err != nil {
+		return err
+	}
+	s.Grid = g
+	s.VSol = vs
+	ncell := g.NCells()
+	for d := 0; d < 3; d++ {
+		s.accCell[d] = make([]float64, ncell)
+	}
+	return nil
 }
 
 // NeutrinoDensityPM returns the neutrino density moment resampled onto the
@@ -577,7 +608,9 @@ func (s *Simulation) ClampDT(dt, until float64) float64 {
 
 // Diagnostics reports the uniform per-step summary: scale factor, cosmic
 // time, total mass, plus redshift, per-component masses and the Vlasov
-// boundary loss under Extra.
+// boundary loss under Extra. The result is a value snapshot with a fresh
+// Extra map — the runner's contract for off-thread (async observer)
+// delivery.
 func (s *Simulation) Diagnostics() runner.Diagnostics {
 	nu, cdm := s.TotalMass()
 	extra := map[string]float64{
@@ -591,24 +624,39 @@ func (s *Simulation) Diagnostics() runner.Diagnostics {
 	return runner.Diagnostics{Clock: s.A, Time: s.Time, Mass: nu + cdm, Extra: extra}
 }
 
-// CanCheckpoint reports whether the current mode can snapshot (the
-// runner's preflight capability): the ν-particle baseline cannot, because
-// the snapshot format stores a single particle set.
-func (s *Simulation) CanCheckpoint() error {
-	if s.NuPart != nil {
-		return fmt.Errorf("hybrid: checkpointing the ν-particle baseline is not supported " +
-			"(the snapshot format stores a single particle set)")
-	}
-	return nil
+// Checkpoint writes a restorable snapshot through snapio (the runner's
+// Checkpointer capability). Restore rebuilds a Simulation from it. Every
+// mode can snapshot: the ν-particle baseline rides the second particle
+// section of snapio format v2.
+func (s *Simulation) Checkpoint(w io.Writer) (int64, error) {
+	return snapio.Write(w, s.snapshot(false))
 }
 
-// Checkpoint writes a restorable snapshot through snapio (the runner's
-// Checkpointer capability). Restore rebuilds a Simulation from it.
-func (s *Simulation) Checkpoint(w io.Writer) (int64, error) {
-	if err := s.CanCheckpoint(); err != nil {
-		return 0, err
+// CaptureCheckpoint is the runner's async-checkpointing capability: it
+// deep-copies the evolving state (an O(state) memcpy) on the calling
+// goroutine and returns a write function the I/O pipeline can run
+// concurrently with the next Steps, so the expensive encode + checksum +
+// write overlaps compute.
+func (s *Simulation) CaptureCheckpoint() (func(w io.Writer) (int64, error), error) {
+	snap := s.snapshot(true)
+	return func(w io.Writer) (int64, error) {
+		return snapio.Write(w, snap)
+	}, nil
+}
+
+// snapshot bundles the current state, deep-copied when clone is set.
+func (s *Simulation) snapshot(clone bool) *snapio.Snapshot {
+	snap := &snapio.Snapshot{A: s.A, Time: s.Time, Part: s.Part, Grid: s.Grid, NuPart: s.NuPart}
+	if clone {
+		snap.Part = snap.Part.Clone()
+		if snap.Grid != nil {
+			snap.Grid = snap.Grid.Clone()
+		}
+		if snap.NuPart != nil {
+			snap.NuPart = snap.NuPart.Clone()
+		}
 	}
-	return snapio.Write(w, &snapio.Snapshot{A: s.A, Time: s.Time, Part: s.Part, Grid: s.Grid})
+	return snap
 }
 
 // TotalMass returns (ν mass, CDM mass) for conservation checks.
@@ -628,49 +676,61 @@ func (s *Simulation) Redshift() float64 { return 1/s.A - 1 }
 // Cosmo exposes the parameter set.
 func (s *Simulation) Cosmo() cosmo.Params { return s.Cfg.Par }
 
-// Restore rebuilds a Simulation from a previously saved state: the particle
-// set and (optionally) phase-space grid replace the generated initial
-// conditions, making checkpoint/restart runs possible. The configuration
-// must describe the same discretisation the snapshot was taken with.
-func Restore(cfg Config, a float64, part *nbody.Particles, grid *phase.Grid) (*Simulation, error) {
-	if part == nil {
-		return nil, fmt.Errorf("hybrid: restore needs particles")
+// Restore rebuilds a Simulation from a snapshot: the particle sets and
+// (when present) phase-space grid are installed directly into a simulation
+// skeleton built without generating initial conditions, so resume startup
+// is O(state size) rather than O(IC generation). The configuration must
+// describe the same discretisation the snapshot was taken with.
+func Restore(cfg Config, snap *snapio.Snapshot) (*Simulation, error) {
+	if snap == nil || snap.Part == nil {
+		return nil, fmt.Errorf("hybrid: restore needs a snapshot with particles")
 	}
-	if cfg.NuParticles {
-		// Mirrors Checkpoint: the snapshot holds no neutrino particles, and
-		// regenerating them from linear theory would silently mix evolved
-		// CDM with fresh neutrinos.
-		return nil, fmt.Errorf("hybrid: restoring the ν-particle baseline is not supported " +
-			"(the snapshot format stores a single particle set)")
+	cfgUse := cfg
+	if snap.Grid == nil && !cfg.NuParticles {
+		// A particle-only snapshot restores as a pure N-body run.
+		cfgUse.NoNeutrino = true
 	}
-	cfgNoNu := cfg
-	if grid == nil && !cfg.NuParticles {
-		cfgNoNu.NoNeutrino = true
-	}
-	s, err := New(cfgNoNu, a)
+	s, err := build(cfgUse, snap.A, false)
 	if err != nil {
 		return nil, err
 	}
-	if part.N != s.Part.N {
-		return nil, fmt.Errorf("hybrid: snapshot has %d particles, config wants %d", part.N, s.Part.N)
+	if cfgUse.NuParticles && snap.NuPart == nil {
+		return nil, fmt.Errorf("hybrid: ν-particle config but the snapshot has no neutrino particles " +
+			"(regenerating them would mix evolved CDM with fresh ICs)")
 	}
-	s.Part = part
-	if grid != nil {
-		if s.Grid == nil {
+	if !cfgUse.NuParticles && snap.NuPart != nil {
+		return nil, fmt.Errorf("hybrid: snapshot holds ν particles but the config is not in NuParticles mode")
+	}
+	if want := s.Cfg.NPartSide * s.Cfg.NPartSide * s.Cfg.NPartSide; snap.Part.N != want {
+		return nil, fmt.Errorf("hybrid: snapshot has %d particles, config wants %d", snap.Part.N, want)
+	}
+	s.installParticles(snap.Part)
+	if snap.Grid != nil {
+		if s.Cfg.NoNeutrino || s.Cfg.NuParticles {
 			return nil, fmt.Errorf("hybrid: config has no Vlasov component for the snapshot grid")
 		}
-		if len(grid.Data) != len(s.Grid.Data) {
-			return nil, fmt.Errorf("hybrid: snapshot grid size %d != config %d", len(grid.Data), len(s.Grid.Data))
+		g := snap.Grid
+		if g.NX != s.Cfg.NGrid || g.NY != s.Cfg.NGrid || g.NZ != s.Cfg.NGrid ||
+			g.NU != [3]int{s.Cfg.NU, s.Cfg.NU, s.Cfg.NU} {
+			return nil, fmt.Errorf("hybrid: snapshot grid %d×%d×%d×%v != config %d³×%d³",
+				g.NX, g.NY, g.NZ, g.NU, s.Cfg.NGrid, s.Cfg.NU)
 		}
-		s.Grid = grid
-		vs, err := vlasov.New(grid, s.Cfg.Scheme)
-		if err != nil {
+		if err := s.installGrid(g); err != nil {
 			return nil, err
 		}
-		s.VSol = vs
 	}
-	s.A = a
-	s.Time = cfg.Par.CosmicTime(a)
-	s.primed = false // forces computed in New describe the discarded ICs
+	if snap.NuPart != nil {
+		if want := s.Cfg.NNuSide * s.Cfg.NNuSide * s.Cfg.NNuSide; snap.NuPart.N != want {
+			return nil, fmt.Errorf("hybrid: snapshot has %d ν particles, config wants %d", snap.NuPart.N, want)
+		}
+		s.installNuParticles(snap.NuPart)
+	}
+	s.A = snap.A
+	if snap.Time > 0 {
+		s.Time = snap.Time
+	} else {
+		s.Time = s.Cfg.Par.CosmicTime(snap.A)
+	}
+	s.primed = false // no forces describe the installed state yet
 	return s, nil
 }

@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"bytes"
 	"context"
 	"math"
 	"testing"
@@ -8,7 +9,9 @@ import (
 	"vlasov6d/internal/analysis"
 	"vlasov6d/internal/cosmo"
 	"vlasov6d/internal/nbody"
+	"vlasov6d/internal/phase"
 	"vlasov6d/internal/runner"
+	"vlasov6d/internal/snapio"
 )
 
 // smallConfig is a laptop-scale hybrid run: 8³ Vlasov cells × 8³ velocity
@@ -251,21 +254,82 @@ func TestSolverContract(t *testing.T) {
 	}
 }
 
-func TestCheckpointRejectsNuParticleBaseline(t *testing.T) {
+func TestCheckpointRoundTripNuParticleBaseline(t *testing.T) {
+	// The §5.4 baseline checkpoints through snapio v2's second particle
+	// section and restores bit-identically.
 	c := smallConfig()
 	c.NuParticles = true
 	s, err := New(c, 0.0909)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Checkpoint(discard{}); err == nil {
-		t.Fatal("ν-particle baseline checkpoint accepted (NuPart would be lost)")
+	if err := s.Step(s.SuggestDT()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := snapio.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NuPart == nil || snap.NuPart.N != s.NuPart.N {
+		t.Fatalf("ν particles lost in checkpoint: %+v", snap.NuPart)
+	}
+	r, err := Restore(c, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NuPart == nil || r.Grid != nil || r.VSol != nil {
+		t.Fatal("restored baseline has the wrong components")
+	}
+	for d := 0; d < 3; d++ {
+		for i := 0; i < s.NuPart.N; i += 53 {
+			if r.NuPart.Pos[d][i] != s.NuPart.Pos[d][i] || r.NuPart.Vel[d][i] != s.NuPart.Vel[d][i] {
+				t.Fatalf("ν particle %d dim %d not bit-identical", i, d)
+			}
+		}
+	}
+	if r.Time != s.Time || r.A != s.A {
+		t.Fatalf("clock not restored: a %v vs %v, t %v vs %v", r.A, s.A, r.Time, s.Time)
+	}
+	// And the restored run keeps stepping.
+	if err := r.Step(r.SuggestDT()); err != nil {
+		t.Fatal(err)
 	}
 }
 
-type discard struct{}
-
-func (discard) Write(p []byte) (int, error) { return len(p), nil }
+func TestCaptureCheckpointIsImmutableSnapshot(t *testing.T) {
+	// The captured writer must serialise the state at capture time even
+	// after the live simulation steps on — the property asynchronous
+	// checkpoint I/O relies on.
+	s, err := New(smallConfig(), 0.0909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(s.SuggestDT()); err != nil {
+		t.Fatal(err)
+	}
+	write, err := s.CaptureCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if _, err := s.Checkpoint(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(s.SuggestDT()); err != nil { // mutate after capture
+		t.Fatal(err)
+	}
+	var captured bytes.Buffer
+	if _, err := write(&captured); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(captured.Bytes(), direct.Bytes()) {
+		t.Fatal("captured checkpoint drifted with the live simulation")
+	}
+}
 
 func TestGravityAmplifiesContrast(t *testing.T) {
 	// Physics: over an expansion interval the CDM density contrast must
@@ -430,7 +494,7 @@ func TestRestoreContinuesRun(t *testing.T) {
 	if err := s1.Step(dt); err != nil {
 		t.Fatal(err)
 	}
-	s2, err := Restore(cfg, s1.A, s1.Part, s1.Grid)
+	s2, err := Restore(cfg, &snapio.Snapshot{A: s1.A, Time: s1.Time, Part: s1.Part, Grid: s1.Grid})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,22 +523,64 @@ func TestRestoreContinuesRun(t *testing.T) {
 
 func TestRestoreValidation(t *testing.T) {
 	cfg := smallConfig()
-	if _, err := Restore(cfg, 0.1, nil, nil); err == nil {
-		t.Fatal("nil particles accepted")
+	if _, err := Restore(cfg, nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	if _, err := Restore(cfg, &snapio.Snapshot{A: 0.1}); err == nil {
+		t.Fatal("snapshot without particles accepted")
 	}
 	s, err := New(cfg, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	small, _ := nbody.NewParticles(8, 1, [3]float64{200, 200, 200})
-	if _, err := Restore(cfg, 0.1, small, s.Grid); err == nil {
+	if _, err := Restore(cfg, &snapio.Snapshot{A: 0.1, Part: small, Grid: s.Grid}); err == nil {
 		t.Fatal("particle count mismatch accepted")
 	}
-	// The ν-particle baseline cannot restore: the snapshot has no neutrino
-	// particles and regenerating them would mix evolved CDM with fresh ICs.
+	wrongGrid, _ := phase.New(6, 6, 6, [3]int{6, 6, 6}, [3]float64{200, 200, 200}, 1000)
+	if _, err := Restore(cfg, &snapio.Snapshot{A: 0.1, Part: s.Part, Grid: wrongGrid}); err == nil {
+		t.Fatal("grid shape mismatch accepted")
+	}
+	// A ν-particle config needs a snapshot that actually holds neutrino
+	// particles: regenerating them would mix evolved CDM with fresh ICs.
 	nuCfg := smallConfig()
 	nuCfg.NuParticles = true
-	if _, err := Restore(nuCfg, 0.1, s.Part, nil); err == nil {
-		t.Fatal("ν-particle baseline restore accepted")
+	if _, err := Restore(nuCfg, &snapio.Snapshot{A: 0.1, Part: s.Part}); err == nil {
+		t.Fatal("ν-particle restore without ν particles accepted")
+	}
+	// And the converse: ν particles in the snapshot demand NuParticles mode.
+	nu, _ := nbody.NewParticles(16*16*16, 1, [3]float64{200, 200, 200})
+	if _, err := Restore(cfg, &snapio.Snapshot{A: 0.1, Part: s.Part, Grid: s.Grid, NuPart: nu}); err == nil {
+		t.Fatal("stray ν particles accepted outside NuParticles mode")
+	}
+	// Wrong ν-particle count.
+	badNu, _ := nbody.NewParticles(10, 1, [3]float64{200, 200, 200})
+	if _, err := Restore(nuCfg, &snapio.Snapshot{A: 0.1, Part: s.Part, NuPart: badNu}); err == nil {
+		t.Fatal("ν-particle count mismatch accepted")
+	}
+}
+
+func TestRestoreSkipsICGeneration(t *testing.T) {
+	// The fast-restore contract: a skeleton build installs snapshot state
+	// without filling initial conditions, so the restored fields are the
+	// snapshot's own slices (no copy, no regenerated-and-discarded ICs).
+	cfg := smallConfig()
+	s, err := New(cfg, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &snapio.Snapshot{A: s.A, Time: s.Time, Part: s.Part, Grid: s.Grid}
+	r, err := Restore(cfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Part != snap.Part || r.Grid != snap.Grid {
+		t.Fatal("restore copied or regenerated component state")
+	}
+	if len(r.accPart[0]) != r.Part.N || len(r.accCell[0]) != r.Grid.NCells() {
+		t.Fatal("force arrays not sized to the installed state")
+	}
+	if r.VSol == nil || r.PM == nil {
+		t.Fatal("solver plumbing missing after skeleton restore")
 	}
 }

@@ -44,6 +44,17 @@ func NewParticles(n int, mass float64, box [3]float64) (*Particles, error) {
 	return p, nil
 }
 
+// Clone returns a deep copy sharing no storage with p — the value snapshot
+// asynchronous checkpointing serialises while the original keeps evolving.
+func (p *Particles) Clone() *Particles {
+	c := &Particles{N: p.N, Mass: p.Mass, Box: p.Box}
+	for d := 0; d < 3; d++ {
+		c.Pos[d] = append([]float64(nil), p.Pos[d]...)
+		c.Vel[d] = append([]float64(nil), p.Vel[d]...)
+	}
+	return c
+}
+
 // Wrap maps x into [0, L) along dimension d.
 func (p *Particles) Wrap(d int, x float64) float64 {
 	l := p.Box[d]

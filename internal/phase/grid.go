@@ -59,6 +59,14 @@ func New(nx, ny, nz int, nu [3]int, box [3]float64, umax float64) (*Grid, error)
 	}, nil
 }
 
+// Clone returns a deep copy sharing no storage with g — the value snapshot
+// asynchronous checkpointing serialises while the original keeps evolving.
+func (g *Grid) Clone() *Grid {
+	c := *g
+	c.Data = append([]float32(nil), g.Data...)
+	return &c
+}
+
 // NCells returns the number of spatial cells in the block.
 func (g *Grid) NCells() int { return g.NX * g.NY * g.NZ }
 

@@ -19,6 +19,57 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(32, 32, 10, 0); err == nil {
 		t.Fatal("bad Vmax accepted")
 	}
+	if _, err := NewWithScheme(32, 32, 10, 6, "no-such-scheme"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestSchemeSelectionDampsLandau(t *testing.T) {
+	// The x-drift scheme is swappable: the MP5 comparator integrates the
+	// same Landau problem stably (its CFL ≤ 1 limit caps SuggestDT), and
+	// the low-order upwind baseline over-damps — the measurable difference
+	// scheme-comparison sweeps exist to show.
+	// Compare decay envelopes (the peak field energy over the final time
+	// window), which is phase-insensitive, unlike an instantaneous ratio.
+	run := func(scheme string) (envelope float64) {
+		s, err := NewWithScheme(32, 64, 4*math.Pi, 6, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.LandauInit(0.05, 0.5, 1)
+		e0 := s.FieldEnergy()
+		for s.Time < 8 {
+			if err := s.Step(s.SuggestDT()); err != nil {
+				t.Fatalf("%s: %v", scheme, err)
+			}
+			if s.Time > 6 {
+				if e := s.FieldEnergy(); e > envelope {
+					envelope = e
+				}
+			}
+		}
+		return envelope / e0
+	}
+	mp5 := run("mp5")
+	if mp5 <= 0 || mp5 >= 1 {
+		t.Fatalf("mp5 field envelope ratio %v, want damping in (0, 1)", mp5)
+	}
+	upwind := run("upwind1")
+	if upwind >= mp5/2 {
+		t.Fatalf("upwind1 envelope %v not well below mp5 %v (first order must over-damp)", upwind, mp5)
+	}
+}
+
+func TestSuggestDTRespectsSchemeCFLLimit(t *testing.T) {
+	s, err := NewWithScheme(32, 64, 4*math.Pi, 6, "mp5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LandauInit(0.01, 0.5, 1)
+	s.CFL = 3 // beyond MP5's stability bound of 1
+	if dt := s.SuggestDT(); dt > s.DX()/s.VMax+1e-15 {
+		t.Fatalf("SuggestDT %v exceeds the scheme's CFL ≤ 1 limit (dx/vmax = %v)", dt, s.DX()/s.VMax)
+	}
 }
 
 func TestFaddeevaKnownValues(t *testing.T) {

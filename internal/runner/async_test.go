@@ -1,0 +1,342 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// obsLog collects async observations thread-safely.
+type obsLog struct {
+	mu    sync.Mutex
+	steps []int
+	diags []Diagnostics
+}
+
+func (l *obsLog) observe(step int, d Diagnostics) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.steps = append(l.steps, step)
+	l.diags = append(l.diags, d)
+	return nil
+}
+
+func (l *obsLog) snapshot() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]int(nil), l.steps...)
+}
+
+// capFake is a ckptFake whose state can be captured for off-thread
+// serialisation: the capture closes over the clock value at capture time.
+type capFake struct{ ckptFake }
+
+func (c *capFake) CaptureCheckpoint() (func(io.Writer) (int64, error), error) {
+	t := c.t
+	return func(w io.Writer) (int64, error) {
+		n, err := fmt.Fprintf(w, "%8.5f", t)
+		return int64(n), err
+	}, nil
+}
+
+func TestAsyncObserverDrainsOnNormalExit(t *testing.T) {
+	var log obsLog
+	f := &fake{dt: 0.1}
+	rep, err := Run(context.Background(), f, 100, WithMaxSteps(10),
+		WithAsyncObserver(log.observe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := log.snapshot()
+	if len(steps) != 10 {
+		t.Fatalf("observed %d steps, want all 10 delivered before Run returns", len(steps))
+	}
+	for i, s := range steps {
+		if s != i {
+			t.Fatalf("observation %d has step %d; want in-order delivery", i, s)
+		}
+	}
+	if rep.DroppedObservations != 0 {
+		t.Fatalf("dropped %d under Block policy", rep.DroppedObservations)
+	}
+	// The delivered diagnostics are value snapshots of each step's state.
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	for i, d := range log.diags {
+		want := 0.1 * float64(i+1)
+		if diff := d.Clock - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("observation %d clock %v, want %v", i, d.Clock, want)
+		}
+	}
+}
+
+func TestAsyncObserverDrainsOnCancel(t *testing.T) {
+	var log obsLog
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &fake{dt: 0.1}
+	_, err := Run(ctx, f, 100,
+		WithObserver(func(step int, _ Solver) error {
+			if step == 4 {
+				cancel()
+			}
+			return nil
+		}),
+		WithAsyncObserver(log.observe))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if steps := log.snapshot(); len(steps) != 5 {
+		t.Fatalf("observed %d steps after cancel, want all 5 enqueued before it", len(steps))
+	}
+}
+
+func TestAsyncObserverErrorAbortsRun(t *testing.T) {
+	sentinel := errors.New("async stop")
+	f := &fake{dt: 0.1}
+	rep, err := Run(context.Background(), f, 1e9, WithAsyncObserver(
+		func(step int, d Diagnostics) error {
+			if step == 2 {
+				return sentinel
+			}
+			return nil
+		}))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err %v, want sentinel", err)
+	}
+	if rep.Steps < 3 || rep.Steps > 3+DefaultAsyncBuffer {
+		t.Fatalf("run took %d steps; the abort should land within the queue depth", rep.Steps)
+	}
+}
+
+func TestAsyncDropOldestNeverBlocksStepLoop(t *testing.T) {
+	const steps = 20
+	const delay = 5 * time.Millisecond
+	slowObs := func(int, Solver) error { time.Sleep(delay); return nil }
+	slowAsync := func(int, Diagnostics) error { time.Sleep(delay); return nil }
+
+	// Synchronous baseline: the step loop pays the observer delay on every
+	// step.
+	f := &fake{dt: 0.1}
+	repSync, err := Run(context.Background(), f, 1e9, WithMaxSteps(steps),
+		WithObserver(slowObs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repSync.Wall < steps*delay {
+		t.Fatalf("sync run %v, must block for ≥ %v", repSync.Wall, steps*delay)
+	}
+
+	// Async with DropOldest: the hot loop only enqueues, so the run
+	// completes in a fraction of the synchronous wall time even with the
+	// same slow observer (the drain at exit pays at most buffer×delay).
+	f = &fake{dt: 0.1}
+	repAsync, err := Run(context.Background(), f, 1e9, WithMaxSteps(steps),
+		WithAsyncObserver(slowAsync, WithAsyncBuffer(2), WithBackpressure(DropOldest)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repAsync.Wall >= repSync.Wall/2 {
+		t.Fatalf("async run %v not faster than half the sync run %v", repAsync.Wall, repSync.Wall)
+	}
+	if repAsync.DroppedObservations == 0 {
+		t.Fatal("a 2-deep queue under a slow consumer must drop observations")
+	}
+	if repAsync.DroppedObservations >= steps {
+		t.Fatalf("dropped %d of %d: nothing was delivered", repAsync.DroppedObservations, steps)
+	}
+}
+
+func TestAsyncDropOldestKeepsOrder(t *testing.T) {
+	var log obsLog
+	block := make(chan struct{})
+	first := true
+	f := &fake{dt: 0.1}
+	_, err := Run(context.Background(), f, 1e9, WithMaxSteps(30),
+		// Release the pipeline from the hot loop at the last step, so the
+		// exit drain (which waits for the observer) cannot deadlock.
+		WithObserver(func(step int, _ Solver) error {
+			if step == 29 {
+				close(block)
+			}
+			return nil
+		}),
+		WithAsyncObserver(func(step int, d Diagnostics) error {
+			if first {
+				first = false
+				<-block // hold the pipeline so the queue overflows
+			}
+			return log.observe(step, d)
+		}, WithAsyncBuffer(4), WithBackpressure(DropOldest)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := log.snapshot()
+	if len(steps) == 0 {
+		t.Fatal("nothing delivered")
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i] <= steps[i-1] {
+			t.Fatalf("out-of-order delivery: %v", steps)
+		}
+	}
+	if last := steps[len(steps)-1]; last != 29 {
+		t.Fatalf("last delivered step %d; drop-oldest must keep the newest", last)
+	}
+}
+
+func TestAsyncCheckpointRidesPipeline(t *testing.T) {
+	dir := t.TempDir()
+	f := &capFake{ckptFake{fake{dt: 0.1}}}
+	rep, err := Run(context.Background(), f, 100, WithMaxSteps(6),
+		WithCheckpoint(dir, 2),
+		WithAsyncObserver(nil)) // checkpoint-only pipeline
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Checkpoints) != 3 {
+		t.Fatalf("checkpoints %v, want 3 at cadence 2 over 6 steps", rep.Checkpoints)
+	}
+	// Capture semantics: each file holds the clock at enqueue time, even
+	// though the solver kept stepping while the pipeline wrote.
+	for i, p := range rep.Checkpoints {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("%8.5f", 0.2*float64(i+1))
+		if string(raw) != want {
+			t.Fatalf("checkpoint %d holds %q, want %q", i, raw, want)
+		}
+	}
+	if rep.CheckpointBytes != 24 {
+		t.Fatalf("checkpoint bytes %d", rep.CheckpointBytes)
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(matches) != 0 {
+		t.Fatalf("leftover temp files %v", matches)
+	}
+}
+
+func TestAsyncCheckpointNeverDropped(t *testing.T) {
+	dir := t.TempDir()
+	block := make(chan struct{})
+	var once sync.Once
+	f := &capFake{ckptFake{fake{dt: 0.1}}}
+	rep, err := Run(context.Background(), f, 100, WithMaxSteps(12),
+		WithCheckpoint(dir, 2),
+		// Release the pipeline from the hot loop once the queue has had a
+		// chance to fill with a checkpoint/observation mix; with a 3-deep
+		// buffer at cadence 2 at most two checkpoints are pinned by then,
+		// so the step loop itself cannot stall on an all-checkpoint queue.
+		WithObserver(func(step int, _ Solver) error {
+			if step == 5 {
+				close(block)
+			}
+			return nil
+		}),
+		WithAsyncObserver(func(int, Diagnostics) error {
+			once.Do(func() { <-block }) // hold the pipeline: queue fills with a mix
+			return nil
+		}, WithAsyncBuffer(3), WithBackpressure(DropOldest)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Checkpoints) != 6 {
+		t.Fatalf("%d checkpoints survived, want all 6 (never dropped)", len(rep.Checkpoints))
+	}
+	if rep.DroppedObservations == 0 {
+		t.Fatal("expected observation drops while checkpoints were pinned")
+	}
+}
+
+func TestCheckpointKeepPrunesSyncPath(t *testing.T) {
+	dir := t.TempDir()
+	f := &ckptFake{fake{dt: 0.1}}
+	rep, err := Run(context.Background(), f, 100, WithMaxSteps(10),
+		WithCheckpoint(dir, 2), WithCheckpointKeep(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Checkpoints) != 2 {
+		t.Fatalf("report retains %v, want the newest 2", rep.Checkpoints)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "ckpt_*.v6d"))
+	if err != nil || len(matches) != 2 {
+		t.Fatalf("on disk: %v (err %v)", matches, err)
+	}
+	// Bytes still count every write: 5 writes × 8 bytes.
+	if rep.CheckpointBytes != 40 {
+		t.Fatalf("checkpoint bytes %d, want 40 (pruning must not uncount volume)", rep.CheckpointBytes)
+	}
+	want := []string{
+		filepath.Join(dir, "ckpt_00000.80000000.v6d"),
+		filepath.Join(dir, "ckpt_00001.00000000.v6d"),
+	}
+	for i, p := range rep.Checkpoints {
+		if p != want[i] {
+			t.Fatalf("retained %v, want %v", rep.Checkpoints, want)
+		}
+	}
+}
+
+func TestCheckpointKeepPrunesAsyncPath(t *testing.T) {
+	dir := t.TempDir()
+	f := &capFake{ckptFake{fake{dt: 0.1}}}
+	rep, err := Run(context.Background(), f, 100, WithMaxSteps(10),
+		WithCheckpoint(dir, 2), WithCheckpointKeep(2),
+		WithAsyncObserver(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Checkpoints) != 2 {
+		t.Fatalf("report retains %v, want the newest 2", rep.Checkpoints)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "ckpt_*.v6d"))
+	if len(matches) != 2 {
+		t.Fatalf("on disk: %v", matches)
+	}
+}
+
+func TestLatestCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LatestCheckpoint(dir); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+	f := &ckptFake{fake{dt: 0.1}}
+	rep, err := Run(context.Background(), f, 100, WithMaxSteps(6), WithCheckpoint(dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	latest, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rep.Checkpoints[len(rep.Checkpoints)-1]; latest != want {
+		t.Fatalf("latest %s, want %s", latest, want)
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	f := &fake{dt: 0.1}
+	if _, err := Run(context.Background(), f, 1,
+		WithAsyncObserver(nil, WithAsyncBuffer(0))); err == nil {
+		t.Fatal("zero async buffer accepted")
+	}
+	if _, err := Run(context.Background(), f, 1, WithCheckpointKeep(-1)); err == nil {
+		t.Fatal("negative retention accepted")
+	}
+	if _, err := Run(context.Background(), f, 1, WithCheckpointKeep(2)); err == nil {
+		t.Fatal("retention without checkpointing accepted")
+	}
+}
+
+func TestBackpressureString(t *testing.T) {
+	if Block.String() != "block" || DropOldest.String() != "drop-oldest" {
+		t.Fatal("Backpressure strings")
+	}
+}

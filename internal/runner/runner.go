@@ -20,12 +20,18 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 )
 
 // Diagnostics is the uniform per-step health summary a Solver exposes to
 // observers: enough to log progress and watch conservation without knowing
 // which solver is running.
+//
+// A Diagnostics is a value snapshot: implementations must return freshly
+// built values (in particular a fresh Extra map) that never alias solver
+// state mutated by later Steps, so async observers can read them from
+// another goroutine while the solver keeps stepping.
 type Diagnostics struct {
 	// Clock is the solver's run coordinate — the value Run drives towards
 	// its target: scale factor a for the cosmological solvers, plasma time
@@ -121,10 +127,15 @@ type Report struct {
 	Wall time.Duration
 	// Reason records why the run stopped (ReasonNone on error).
 	Reason StopReason
-	// Checkpoints lists the snapshot files written, oldest first.
+	// Checkpoints lists the snapshot files written and still retained
+	// (WithCheckpointKeep prunes older ones), oldest first.
 	Checkpoints []string
-	// CheckpointBytes is the total snapshot volume written.
+	// CheckpointBytes is the total snapshot volume written, including
+	// volume later pruned by the retention policy.
 	CheckpointBytes int64
+	// DroppedObservations counts async observations evicted under the
+	// DropOldest back-pressure policy (always zero otherwise).
+	DroppedObservations int64
 }
 
 type options struct {
@@ -133,8 +144,12 @@ type options struct {
 	observer   Observer
 	ckptDir    string
 	ckptEvery  int
+	ckptKeep   int
 	fixedDT    float64
 	fixedDTSet bool
+	async      bool
+	asyncObs   AsyncObserver
+	asyncOpts  asyncOptions
 }
 
 // Option configures a Run call.
@@ -172,6 +187,15 @@ func WithCheckpoint(dir string, everyN int) Option {
 	}
 }
 
+// WithCheckpointKeep prunes the checkpoint directory to the newest n
+// snapshot files after every write (0, the default, keeps everything).
+// Pruning considers every ckpt_*.v6d in the directory, so a resumed run
+// into the same directory counts the earlier segment's files against the
+// same budget.
+func WithCheckpointKeep(n int) Option {
+	return func(o *options) { o.ckptKeep = n }
+}
+
 // WithFixedDT disables SuggestDT and steps with the given dt (still clamped
 // so the clock does not overshoot the target). dt must be positive; an
 // explicit zero is an error, not a fallback to adaptive stepping.
@@ -205,6 +229,15 @@ func Run(ctx context.Context, s Solver, until float64, opts ...Option) (*Report,
 	if o.maxSteps < 0 {
 		return rep, fmt.Errorf("runner: max steps %d must be non-negative", o.maxSteps)
 	}
+	if o.ckptKeep < 0 {
+		return rep, fmt.Errorf("runner: checkpoint retention %d must be non-negative", o.ckptKeep)
+	}
+	if o.ckptKeep > 0 && o.ckptDir == "" {
+		return rep, fmt.Errorf("runner: WithCheckpointKeep needs WithCheckpoint")
+	}
+	if o.async && o.asyncOpts.buffer < 1 {
+		return rep, fmt.Errorf("runner: async observer buffer %d must be ≥ 1", o.asyncOpts.buffer)
+	}
 	var ckpt Checkpointer
 	if o.ckptDir != "" {
 		if o.ckptEvery < 1 {
@@ -223,9 +256,33 @@ func Run(ctx context.Context, s Solver, until float64, opts ...Option) (*Report,
 			return rep, fmt.Errorf("runner: checkpoint dir: %w", err)
 		}
 	}
+	// Async pipeline: started after validation so every early return above
+	// leaves no goroutine behind. Checkpoints ride the pipeline only when
+	// the solver can capture value snapshots of its state.
+	var pipe *pipeline
+	var capturer CheckpointCapturer
+	if o.async {
+		pipe = newPipeline(&o)
+		if ckpt != nil {
+			capturer, _ = s.(CheckpointCapturer)
+		}
+	}
 
 	start := time.Now()
 	finish := func(err error) (*Report, error) {
+		if pipe != nil {
+			// Drain on every exit path: each enqueued observation is
+			// delivered and each enqueued checkpoint is on disk before Run
+			// returns.
+			pipe.close()
+			rep.Checkpoints = append(rep.Checkpoints, pipe.written...)
+			rep.CheckpointBytes += pipe.bytes
+			rep.DroppedObservations = pipe.dropped
+			if err == nil && pipe.err != nil {
+				err = pipe.err
+				rep.Reason = ReasonNone
+			}
+		}
 		rep.Wall = time.Since(start)
 		rep.Clock = s.Clock()
 		return rep, err
@@ -234,6 +291,13 @@ func Run(ctx context.Context, s Solver, until float64, opts ...Option) (*Report,
 		if err := ctx.Err(); err != nil {
 			return finish(fmt.Errorf("runner: cancelled after %d steps at clock %v: %w",
 				rep.Steps, s.Clock(), err))
+		}
+		if pipe != nil {
+			// An async observer or checkpoint error aborts the run within
+			// one step, mirroring the synchronous contract.
+			if err := pipe.failed(); err != nil {
+				return finish(err)
+			}
 		}
 		if s.Clock() >= until {
 			rep.Reason = ReasonUntil
@@ -271,28 +335,52 @@ func Run(ctx context.Context, s Solver, until float64, opts ...Option) (*Report,
 				return finish(err)
 			}
 		}
-		if ckpt != nil && rep.Steps%o.ckptEvery == 0 {
-			path, n, err := writeCheckpoint(o.ckptDir, rep.Clock, ckpt)
-			if err != nil {
-				return finish(fmt.Errorf("runner: checkpoint at step %d: %w", rep.Steps, err))
+		if pipe != nil && pipe.obs != nil {
+			// Value snapshot on the step path, delivery off it. Diagnostics
+			// implementations return freshly built values (see the Solver
+			// contract), so the pipeline goroutine reads them race-free.
+			if err := pipe.enqueue(event{step: step, diag: s.Diagnostics()}); err != nil {
+				return finish(err)
 			}
-			rep.Checkpoints = append(rep.Checkpoints, path)
-			rep.CheckpointBytes += n
+		}
+		if ckpt != nil && rep.Steps%o.ckptEvery == 0 {
+			if capturer != nil {
+				write, err := capturer.CaptureCheckpoint()
+				if err != nil {
+					return finish(fmt.Errorf("runner: checkpoint capture at step %d: %w", rep.Steps, err))
+				}
+				if err := pipe.enqueue(event{step: step, clock: rep.Clock, ckpt: write}); err != nil {
+					return finish(err)
+				}
+			} else {
+				path, n, err := writeCheckpointFile(o.ckptDir, rep.Clock, ckpt.Checkpoint)
+				if err != nil {
+					return finish(fmt.Errorf("runner: checkpoint at step %d: %w", rep.Steps, err))
+				}
+				rep.Checkpoints = append(rep.Checkpoints, path)
+				rep.CheckpointBytes += n
+				if o.ckptKeep > 0 {
+					rep.Checkpoints, err = pruneCheckpoints(o.ckptDir, o.ckptKeep, rep.Checkpoints)
+					if err != nil {
+						return finish(fmt.Errorf("runner: checkpoint retention at step %d: %w", rep.Steps, err))
+					}
+				}
+			}
 		}
 	}
 	return finish(nil)
 }
 
-// writeCheckpoint atomically writes one snapshot file ckpt_<clock>.v6d,
+// writeCheckpointFile atomically writes one snapshot file ckpt_<clock>.v6d,
 // zero-padded so lexicographic order is clock order.
-func writeCheckpoint(dir string, clock float64, c Checkpointer) (string, int64, error) {
+func writeCheckpointFile(dir string, clock float64, write func(io.Writer) (int64, error)) (string, int64, error) {
 	final := filepath.Join(dir, fmt.Sprintf("ckpt_%014.8f.v6d", clock))
 	tmp := final + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return "", 0, err
 	}
-	n, err := c.Checkpoint(f)
+	n, err := write(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -305,4 +393,46 @@ func writeCheckpoint(dir string, clock float64, c Checkpointer) (string, int64, 
 		return "", n, err
 	}
 	return final, n, nil
+}
+
+// pruneCheckpoints enforces the keep-newest-n retention policy over every
+// ckpt_*.v6d in dir and returns written filtered to the surviving files.
+func pruneCheckpoints(dir string, keep int, written []string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "ckpt_*.v6d"))
+	if err != nil {
+		return written, err
+	}
+	if len(matches) <= keep {
+		return written, nil
+	}
+	sort.Strings(matches)
+	removed := make(map[string]bool, len(matches)-keep)
+	for _, f := range matches[:len(matches)-keep] {
+		if err := os.Remove(f); err != nil {
+			return written, err
+		}
+		removed[f] = true
+	}
+	kept := written[:0]
+	for _, f := range written {
+		if !removed[f] {
+			kept = append(kept, f)
+		}
+	}
+	return kept, nil
+}
+
+// LatestCheckpoint returns the newest checkpoint file in dir. File names
+// embed a fixed-width clock, so the newest checkpoint is the
+// lexicographically last ckpt_*.v6d even across stop/resume cycles.
+func LatestCheckpoint(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "ckpt_*.v6d"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("runner: no ckpt_*.v6d files in %s", dir)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
 }

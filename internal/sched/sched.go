@@ -1,0 +1,314 @@
+// Package sched multiplexes many runner.Run calls over a bounded worker
+// pool: the batch layer the unified Runner API was built to enable.
+//
+// The paper's production campaign is not one simulation but a matrix of
+// them — scheme comparisons, resolution scalings, control runs — and the
+// ROADMAP's north star is serving many scenarios concurrently rather than
+// one hand-launched binary at a time. A batch is a slice of named Jobs,
+// each a solver *factory* plus run options; the scheduler executes them on
+// at most WithWorkers goroutines (default GOMAXPROCS, capped at the job
+// count) under one shared context and, optionally, one shared wall-clock
+// budget.
+//
+// Semantics:
+//
+//   - Solvers are constructed by the job's factory on the worker that runs
+//     it, never up front, so a 100-job sweep holds at most `workers` live
+//     simulations in memory.
+//   - Results come back in job order, regardless of completion order, with
+//     a per-job Status (Queued → Running → Done/Failed/Cancelled) and the
+//     runner.Report of every job that ran.
+//   - Cancelling the context stops running jobs through the runner's own
+//     cancellation path and marks still-queued jobs Cancelled without
+//     constructing their solvers.
+//   - A shared wall-clock budget (WithWallClock) is a batch deadline: each
+//     job starts with the remaining budget as its runner wall-clock limit.
+//     Because the runner always takes at least one step under a positive
+//     budget, late jobs still make forward progress after the deadline —
+//     an exhausted budget degrades the batch to one-step-per-job fairness
+//     instead of starving the tail of the queue.
+//   - One job failing does not abort the batch (a sweep where one
+//     configuration diverges should still deliver the rest); inspect each
+//     Result. The batch-level error reports only scheduler-level problems:
+//     an empty or invalid job list, or context cancellation.
+//
+// Jobs combine freely with the runner's async observer pipeline
+// (runner.WithAsyncObserver in a job's Opts): each job then gets its own
+// bounded diagnostics/checkpoint queue with the back-pressure policy it
+// selects (block = lossless, drop-oldest = the step loop never waits), so
+// a sweep's per-job I/O stays off every worker's hot loop.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"vlasov6d/internal/runner"
+)
+
+// Job is one named unit of batch work: a solver factory, the clock target
+// to drive it to, and the runner options for its Run call.
+type Job struct {
+	// Name identifies the job in Results and progress updates.
+	Name string
+	// New constructs the solver. It runs on the worker goroutine executing
+	// the job (not at submission), so per-job memory is bounded by the
+	// worker count and an expensive construction (IC generation) counts
+	// against the job's share of the batch, not the caller's.
+	New func() (runner.Solver, error)
+	// Until is the clock target handed to runner.Run.
+	Until float64
+	// Opts are the runner options for this job's Run call. The scheduler
+	// may append a wall-clock option when the batch has a shared budget.
+	Opts []runner.Option
+}
+
+// Status is the lifecycle state of a job in a batch.
+type Status int
+
+const (
+	// Queued: not yet picked up by a worker.
+	Queued Status = iota
+	// Running: a worker is constructing or driving the solver.
+	Running
+	// Done: runner.Run returned without error (any stop reason).
+	Done
+	// Failed: the factory or runner.Run returned a non-cancellation error.
+	Failed
+	// Cancelled: the batch context was cancelled before or during the job.
+	Cancelled
+)
+
+func (s Status) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Result is the outcome of one job. Results are returned in job order.
+type Result struct {
+	// Name echoes the job name.
+	Name string
+	// Status is the job's final state.
+	Status Status
+	// Report is the runner report of a job that ran (nil for jobs
+	// cancelled while still queued or whose factory failed).
+	Report *runner.Report
+	// Err is the factory/run error of a Failed job, or the cancellation
+	// error of a Cancelled job that was already running.
+	Err error
+}
+
+// Update is one job status transition, delivered to the WithNotify callback
+// as the batch executes — the hook progress tables hang off.
+type Update struct {
+	// Index is the job's position in the batch.
+	Index int
+	// Name echoes the job name.
+	Name string
+	// Status is the state just entered.
+	Status Status
+	// Err accompanies Failed and (when the job was running) Cancelled.
+	Err error
+	// Report accompanies Done and run-level failures.
+	Report *runner.Report
+}
+
+type options struct {
+	workers int
+	wall    time.Duration
+	notify  func(Update)
+}
+
+// Option configures a Scheduler or a RunBatch call.
+type Option func(*options)
+
+// WithWorkers bounds the worker pool (default GOMAXPROCS; always further
+// capped at the number of jobs).
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithWallClock gives the whole batch one shared wall-clock budget. Each
+// job starts with the budget remaining at its start time as its own
+// runner wall-clock limit; once the budget is exhausted, every remaining
+// job still takes at least one step (the runner's forward-progress
+// guarantee), so a checkpoint-cadenced batch can be resumed job by job.
+func WithWallClock(budget time.Duration) Option {
+	return func(o *options) { o.wall = budget }
+}
+
+// WithNotify registers a callback for job status transitions. Calls are
+// serialised by the scheduler, so the callback may print or mutate shared
+// state without its own locking; it must not block for long (it stalls the
+// notifying worker, not the whole batch).
+func WithNotify(fn func(Update)) Option {
+	return func(o *options) { o.notify = fn }
+}
+
+// Scheduler executes batches of jobs over a bounded worker pool. The zero
+// value is not usable; construct with New. A Scheduler is stateless across
+// batches and safe for concurrent Run calls.
+type Scheduler struct {
+	opts options
+}
+
+// New builds a scheduler with the given defaults.
+func New(opts ...Option) (*Scheduler, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.workers < 0 {
+		return nil, fmt.Errorf("sched: worker count %d must be non-negative", o.workers)
+	}
+	if o.wall < 0 {
+		return nil, fmt.Errorf("sched: wall-clock budget %v must be non-negative", o.wall)
+	}
+	return &Scheduler{opts: o}, nil
+}
+
+// RunBatch executes jobs over a bounded worker pool — the one-call form of
+// New(opts...).Run(ctx, jobs).
+func RunBatch(ctx context.Context, jobs []Job, opts ...Option) ([]Result, error) {
+	s, err := New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(ctx, jobs)
+}
+
+// Run executes the batch and returns one Result per job, in job order. The
+// returned error is non-nil only for scheduler-level problems (invalid
+// jobs, context cancellation); per-job failures are reported in Results.
+func (s *Scheduler) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("sched: empty batch")
+	}
+	for i, j := range jobs {
+		if j.New == nil {
+			return nil, fmt.Errorf("sched: job %d (%q) has no solver factory", i, j.Name)
+		}
+	}
+	workers := s.opts.workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var deadline time.Time
+	if s.opts.wall > 0 {
+		deadline = time.Now().Add(s.opts.wall)
+	}
+
+	results := make([]Result, len(jobs))
+	for i, j := range jobs {
+		results[i] = Result{Name: j.Name, Status: Queued}
+	}
+
+	var mu sync.Mutex // guards results transitions and serialises notify
+	transition := func(i int, st Status, rep *runner.Report, err error) {
+		mu.Lock()
+		results[i].Status = st
+		results[i].Report = rep
+		results[i].Err = err
+		fn := s.opts.notify
+		if fn != nil {
+			fn(Update{Index: i, Name: jobs[i].Name, Status: st, Err: err, Report: rep})
+		}
+		mu.Unlock()
+	}
+
+	// Work distribution: a closed channel of job indices. Workers stop
+	// pulling as soon as the context dies; the post-wait sweep below marks
+	// whatever they never picked up.
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range jobs {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				s.runJob(ctx, i, jobs[i], deadline, transition)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Jobs the dispatcher never handed out (context cancelled) are still
+	// Queued: mark them Cancelled so every Result reaches a final state.
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			mu.Lock()
+			queued := results[i].Status == Queued
+			mu.Unlock()
+			if queued {
+				transition(i, Cancelled, nil, nil)
+			}
+		}
+		return results, fmt.Errorf("sched: batch cancelled: %w", err)
+	}
+	return results, nil
+}
+
+// runJob executes one job on the calling worker goroutine.
+func (s *Scheduler) runJob(ctx context.Context, i int, job Job, deadline time.Time,
+	transition func(int, Status, *runner.Report, error)) {
+	if ctx.Err() != nil {
+		transition(i, Cancelled, nil, nil)
+		return
+	}
+	transition(i, Running, nil, nil)
+	solver, err := job.New()
+	if err != nil {
+		transition(i, Failed, nil, fmt.Errorf("sched: job %q: factory: %w", job.Name, err))
+		return
+	}
+	opts := job.Opts
+	if !deadline.IsZero() {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			// Budget exhausted before this job started: hand the runner the
+			// smallest positive budget, which its forward-progress guarantee
+			// turns into exactly one step — fairness for the queue's tail.
+			remaining = time.Nanosecond
+		}
+		opts = append(opts[:len(opts):len(opts)], runner.WithWallClock(remaining))
+	}
+	rep, err := runner.Run(ctx, solver, job.Until, opts...)
+	switch {
+	case err == nil:
+		transition(i, Done, rep, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		transition(i, Cancelled, rep, err)
+	default:
+		transition(i, Failed, rep, err)
+	}
+}

@@ -3,10 +3,18 @@
 // paper's end-to-end time-to-solution measurement charges to I/O (733 s of
 // the 1.92 h H1024 run), so the writers report byte counts to the caller.
 //
-// Layout: a fixed header (magic, version, scale factor, time, box, particle
-// and grid shapes), followed by the particle section (positions, velocities
-// as float64) and, when present, the phase-space section (float32 cube
-// data), each section followed by its CRC-32 (IEEE).
+// Layout (v1): a fixed header (magic, version, scale factor, time, box,
+// particle and grid shapes), followed by the particle section (positions,
+// velocities as float64) and, when present, the phase-space section
+// (float32 cube data), each section followed by its CRC-32 (IEEE).
+//
+// Format v2 adds a second particle section for the ν-particle baseline
+// (the §5.4 TianNu-style control runs): the header grows a neutrino
+// particle count and mass after the grid box, and the neutrino section
+// (same layout as the CDM one) follows the CDM particle section. The
+// writer emits v2 only when the snapshot carries neutrino particles, so
+// Vlasov-mode and pure-N-body snapshots stay byte-identical to v1; the
+// reader accepts both versions.
 package snapio
 
 import (
@@ -22,8 +30,12 @@ import (
 	"vlasov6d/internal/phase"
 )
 
-// Magic identifies the format ("V6D" + version byte).
+// Magic identifies format v1 ("V6D" + version byte).
 const Magic = 0x56364431 // "V6D1"
+
+// MagicV2 identifies format v2, which carries the optional second
+// (ν-particle) section.
+const MagicV2 = 0x56364432 // "V6D2"
 
 // Snapshot bundles the state written to disk.
 type Snapshot struct {
@@ -31,6 +43,9 @@ type Snapshot struct {
 	Time float64
 	Part *nbody.Particles
 	Grid *phase.Grid // optional
+	// NuPart holds the particle-sampled neutrinos of the §5.4 baseline
+	// mode (optional; forces format v2 on write).
+	NuPart *nbody.Particles
 }
 
 // countingWriter tracks bytes written.
@@ -67,9 +82,15 @@ func Write(w io.Writer, s *Snapshot) (int64, error) {
 		return writeU64(h, math.Float64bits(v))
 	}
 
-	// Header.
+	// Header. The magic doubles as the version: v2 only when the optional
+	// ν-particle section is present, so v1-shaped snapshots stay
+	// byte-identical to the v1 writer.
+	magic := uint64(Magic)
+	if s.NuPart != nil {
+		magic = MagicV2
+	}
 	hdr := crc32.NewIEEE()
-	if err := writeU64(hdr, Magic); err != nil {
+	if err := writeU64(hdr, magic); err != nil {
 		return cw.n, err
 	}
 	if err := writeF64(hdr, s.A); err != nil {
@@ -116,6 +137,14 @@ func Write(w io.Writer, s *Snapshot) (int64, error) {
 			}
 		}
 	}
+	if s.NuPart != nil {
+		if err := writeU64(hdr, uint64(s.NuPart.N)); err != nil {
+			return cw.n, err
+		}
+		if err := writeF64(hdr, s.NuPart.Mass); err != nil {
+			return cw.n, err
+		}
+	}
 	if err := writeU64(nil, uint64(hdr.Sum32())); err != nil {
 		return cw.n, err
 	}
@@ -145,6 +174,24 @@ func Write(w io.Writer, s *Snapshot) (int64, error) {
 	}
 	if err := writeU64(nil, uint64(ps.Sum32())); err != nil {
 		return cw.n, err
+	}
+
+	// ν-particle section (v2 only), same layout as the CDM section.
+	if s.NuPart != nil {
+		ns := crc32.NewIEEE()
+		for d := 0; d < 3; d++ {
+			if err := writeFloats(ns, s.NuPart.Pos[d]); err != nil {
+				return cw.n, err
+			}
+		}
+		for d := 0; d < 3; d++ {
+			if err := writeFloats(ns, s.NuPart.Vel[d]); err != nil {
+				return cw.n, err
+			}
+		}
+		if err := writeU64(nil, uint64(ns.Sum32())); err != nil {
+			return cw.n, err
+		}
 	}
 
 	// Phase-space section.
@@ -192,9 +239,10 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	if magic != Magic {
+	if magic != Magic && magic != MagicV2 {
 		return nil, fmt.Errorf("snapio: bad magic %#x", magic)
 	}
+	v2 := magic == MagicV2
 	s := &Snapshot{}
 	if s.A, err = readF64(hdr); err != nil {
 		return nil, err
@@ -225,6 +273,16 @@ func Read(r io.Reader) (*Snapshot, error) {
 	var gbox [3]float64
 	for d := 0; d < 3; d++ {
 		if gbox[d], err = readF64(hdr); err != nil {
+			return nil, err
+		}
+	}
+	var nuN64 uint64
+	var nuMass float64
+	if v2 {
+		if nuN64, err = readU64(hdr); err != nil {
+			return nil, err
+		}
+		if nuMass, err = readF64(hdr); err != nil {
 			return nil, err
 		}
 	}
@@ -271,6 +329,32 @@ func Read(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("snapio: particle checksum mismatch")
 	}
 	s.Part = part
+
+	if v2 && nuN64 > 0 {
+		nuPart, err := nbody.NewParticles(int(nuN64), nuMass, box)
+		if err != nil {
+			return nil, err
+		}
+		ns := crc32.NewIEEE()
+		for d := 0; d < 3; d++ {
+			if err := readFloats(ns, nuPart.Pos[d]); err != nil {
+				return nil, err
+			}
+		}
+		for d := 0; d < 3; d++ {
+			if err := readFloats(ns, nuPart.Vel[d]); err != nil {
+				return nil, err
+			}
+		}
+		wantSum = ns.Sum32()
+		if sum, err = readU64(nil); err != nil {
+			return nil, err
+		}
+		if uint32(sum) != wantSum {
+			return nil, fmt.Errorf("snapio: ν-particle checksum mismatch")
+		}
+		s.NuPart = nuPart
+	}
 
 	if gdims[0] > 0 {
 		g, err := phase.New(int(gdims[0]), int(gdims[1]), int(gdims[2]),

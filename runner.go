@@ -4,13 +4,26 @@
 // Solver, so a production service schedules any workload through the same
 // call with uniform cancellation, wall-clock budgets, per-step observers
 // and checkpoint cadence. See internal/runner for the driver itself.
+//
+// On top of Run sit two concurrency layers:
+//
+//   - RunBatch / Scheduler (internal/sched) multiplex many Run calls —
+//     parameter sweeps, scheme comparisons, control runs — over a bounded
+//     worker pool with a shared context and a shared wall-clock budget.
+//   - WithAsyncObserver (internal/runner) moves diagnostics delivery and
+//     checkpoint I/O off the hot step loop onto a buffered pipeline with a
+//     selectable back-pressure policy, so the solver never blocks on a
+//     slow observer or a disk write.
 package vlasov6d
 
 import (
 	"context"
+	"fmt"
+	"os"
 	"time"
 
 	"vlasov6d/internal/runner"
+	"vlasov6d/internal/sched"
 )
 
 // Solver is the single run-loop contract: step by dt, suggest a stable dt,
@@ -63,18 +76,138 @@ func WithObserver(obs func(step int, s Solver) error) RunOption {
 
 // WithCheckpoint writes a snapshot into dir every everyN completed steps
 // through the snapshot format of WriteSnapshot/ReadSnapshot; resume with
-// RestoreSimulation. The solver must support checkpointing (*Simulation
-// does, except in the ν-particle baseline mode).
+// RestoreSimulation (the ν-particle baseline checkpoints through snapio
+// format v2). The solver must support checkpointing (*Simulation does).
 func WithCheckpoint(dir string, everyN int) RunOption { return runner.WithCheckpoint(dir, everyN) }
+
+// WithCheckpointKeep prunes the checkpoint directory to the newest n
+// snapshots after every write (0 keeps everything).
+func WithCheckpointKeep(n int) RunOption { return runner.WithCheckpointKeep(n) }
 
 // WithFixedDT disables adaptive stepping and uses dt for every step (still
 // clamped at the target).
 func WithFixedDT(dt float64) RunOption { return runner.WithFixedDT(dt) }
 
-// Compile-time checks: every advertised workload drives through Run.
+// AsyncRunObserver is the off-thread diagnostics callback of
+// WithAsyncObserver: it receives a value snapshot of the solver's
+// Diagnostics, never the live solver, so it can run concurrently with the
+// next steps.
+type AsyncRunObserver = runner.AsyncObserver
+
+// AsyncOption tunes the async observer pipeline.
+type AsyncOption = runner.AsyncOption
+
+// Backpressure selects what a full async pipeline does to the step loop:
+// BackpressureBlock (lossless) or BackpressureDropOldest (lossy for
+// observations, never for checkpoints).
+type Backpressure = runner.Backpressure
+
+// The back-pressure policies of the async observer pipeline.
+const (
+	BackpressureBlock      = runner.Block
+	BackpressureDropOldest = runner.DropOldest
+)
+
+// WithAsyncObserver delivers per-step diagnostics (and, for solvers that
+// support state capture, checkpoint I/O) through a buffered pipeline off
+// the hot step loop. obs may be nil to route only checkpoint traffic.
+func WithAsyncObserver(obs AsyncRunObserver, opts ...AsyncOption) RunOption {
+	return runner.WithAsyncObserver(obs, opts...)
+}
+
+// WithAsyncBuffer sets the pipeline queue capacity (default
+// runner.DefaultAsyncBuffer).
+func WithAsyncBuffer(n int) AsyncOption { return runner.WithAsyncBuffer(n) }
+
+// WithBackpressure selects the full-queue policy (default
+// BackpressureBlock).
+func WithBackpressure(p Backpressure) AsyncOption { return runner.WithBackpressure(p) }
+
+// LatestCheckpoint returns the newest checkpoint file in dir (checkpoint
+// names embed a fixed-width clock, so lexicographic order is clock order).
+func LatestCheckpoint(dir string) (string, error) { return runner.LatestCheckpoint(dir) }
+
+// ResumeLatest reads the newest checkpoint in dir and returns the snapshot
+// together with the file it came from; rebuild the simulation with
+// RestoreSimulation.
+func ResumeLatest(dir string) (*Snapshot, string, error) {
+	path, err := runner.LatestCheckpoint(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	snap, err := ReadSnapshot(f)
+	if err != nil {
+		return nil, "", fmt.Errorf("vlasov6d: resume from %s: %w", path, err)
+	}
+	return snap, path, nil
+}
+
+// Scheduler executes batches of named jobs over a bounded worker pool; see
+// RunBatch for the one-call form and internal/sched for the semantics.
+type Scheduler = sched.Scheduler
+
+// BatchJob is one named unit of batch work: a solver factory, a clock
+// target, and per-job run options. The factory runs on the worker that
+// executes the job, so at most `workers` solvers are live at once.
+type BatchJob = sched.Job
+
+// BatchResult is the outcome of one batch job, in job order.
+type BatchResult = sched.Result
+
+// BatchUpdate is one job status transition, delivered to WithBatchNotify.
+type BatchUpdate = sched.Update
+
+// JobStatus is the lifecycle state of a batch job.
+type JobStatus = sched.Status
+
+// The batch job states.
+const (
+	JobQueued    = sched.Queued
+	JobRunning   = sched.Running
+	JobDone      = sched.Done
+	JobFailed    = sched.Failed
+	JobCancelled = sched.Cancelled
+)
+
+// BatchOption configures a Scheduler or RunBatch call.
+type BatchOption = sched.Option
+
+// NewScheduler builds a scheduler with the given defaults.
+func NewScheduler(opts ...BatchOption) (*Scheduler, error) { return sched.New(opts...) }
+
+// RunBatch executes jobs over a bounded worker pool (default GOMAXPROCS
+// workers) under one shared context, returning one result per job in job
+// order. Per-job failures are reported in the results, not as the batch
+// error.
+func RunBatch(ctx context.Context, jobs []BatchJob, opts ...BatchOption) ([]BatchResult, error) {
+	return sched.RunBatch(ctx, jobs, opts...)
+}
+
+// WithBatchWorkers bounds the batch worker pool (default GOMAXPROCS,
+// capped at the job count).
+func WithBatchWorkers(n int) BatchOption { return sched.WithWorkers(n) }
+
+// WithBatchWallClock gives the whole batch one shared wall-clock budget;
+// once exhausted, every remaining job still takes at least one step (the
+// runner's forward-progress guarantee), so nothing starves.
+func WithBatchWallClock(budget time.Duration) BatchOption { return sched.WithWallClock(budget) }
+
+// WithBatchNotify registers a serialised callback for job status
+// transitions — the hook progress displays hang off.
+func WithBatchNotify(fn func(BatchUpdate)) BatchOption { return sched.WithNotify(fn) }
+
+// Compile-time checks: every advertised workload drives through Run, and
+// the hybrid simulation supports the full checkpoint surface (snapshots,
+// async capture).
 var (
-	_ Solver              = (*Simulation)(nil)
-	_ Solver              = (*PlasmaSolver)(nil)
-	_ runner.DTClamper    = (*Simulation)(nil)
-	_ runner.Checkpointer = (*Simulation)(nil)
+	_ Solver                    = (*Simulation)(nil)
+	_ Solver                    = (*PlasmaSolver)(nil)
+	_ runner.DTClamper          = (*Simulation)(nil)
+	_ runner.Checkpointer       = (*Simulation)(nil)
+	_ runner.CheckpointCapturer = (*Simulation)(nil)
 )

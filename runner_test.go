@@ -238,18 +238,43 @@ func TestRunCheckpointNeedsSupport(t *testing.T) {
 	if rep.Steps != 0 {
 		t.Fatalf("driver stepped %d times before rejecting", rep.Steps)
 	}
-	// The ν-particle baseline implements Checkpointer but vetoes it via the
-	// preflight, so this also fails before any (expensive) stepping.
-	sim, err := NewSimulation(runnerTestConfig(), 0.1, WithNuParticleBaseline(0))
+}
+
+// TestRunCheckpointNuParticleBaseline: the §5.4 ν-particle baseline
+// checkpoints through snapio format v2 and resumes under Run.
+func TestRunCheckpointNuParticleBaseline(t *testing.T) {
+	dir := t.TempDir()
+	cfg := runnerTestConfig()
+	sim, err := NewSimulation(cfg, 0.1, WithNuParticleBaseline(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err = Run(context.Background(), sim, 0.5, WithCheckpoint(t.TempDir(), 100))
-	if err == nil {
-		t.Fatal("checkpointing accepted for the ν-particle baseline")
+	rep, err := Run(context.Background(), sim, 0.5, WithMaxSteps(2), WithCheckpoint(dir, 2))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if rep.Steps != 0 {
-		t.Fatalf("driver stepped %d times before the preflight rejection", rep.Steps)
+	if len(rep.Checkpoints) != 1 {
+		t.Fatalf("checkpoints %v", rep.Checkpoints)
+	}
+	snap, path, err := ResumeLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != rep.Checkpoints[0] {
+		t.Fatalf("latest %s, want %s", path, rep.Checkpoints[0])
+	}
+	if snap.NuPart == nil || snap.NuPart.N != sim.NuPart.N {
+		t.Fatalf("ν particles missing from the checkpoint")
+	}
+	resumed, err := RestoreSimulation(cfg, snap, WithNuParticleBaseline(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.A != sim.A || resumed.Time != sim.Time {
+		t.Fatalf("resume clock a=%v t=%v, want a=%v t=%v", resumed.A, resumed.Time, sim.A, sim.Time)
+	}
+	if rep2, err := Run(context.Background(), resumed, 0.5, WithMaxSteps(1)); err != nil || rep2.Steps != 1 {
+		t.Fatalf("resumed baseline run: %v (%+v)", err, rep2)
 	}
 }
 

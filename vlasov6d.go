@@ -151,7 +151,9 @@ func NewSimulation(cfg Config, aInit float64, opts ...SimOption) (*Simulation, e
 
 // RestoreSimulation rebuilds a simulation from a snapshot (for example a
 // checkpoint written by Run under WithCheckpoint). The config must describe
-// the same discretisation the snapshot was taken with.
+// the same discretisation the snapshot was taken with. Construction
+// allocates without regenerating initial conditions, so resume startup
+// costs O(state size), not O(IC generation).
 func RestoreSimulation(cfg Config, snap *Snapshot, opts ...SimOption) (*Simulation, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("vlasov6d: nil snapshot")
@@ -159,7 +161,7 @@ func RestoreSimulation(cfg Config, snap *Snapshot, opts ...SimOption) (*Simulati
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return hybrid.Restore(cfg, snap.A, snap.Part, snap.Grid)
+	return hybrid.Restore(cfg, snap)
 }
 
 // PhaseGrid is the six-dimensional phase-space distribution grid.
@@ -189,6 +191,13 @@ type PlasmaSolver = plasma.Solver
 // NewPlasmaSolver allocates a 1D1V solver on x ∈ [0, L), v ∈ [−vmax, vmax).
 func NewPlasmaSolver(nx, nv int, boxL, vmax float64) (*PlasmaSolver, error) {
 	return plasma.New(nx, nv, boxL, vmax)
+}
+
+// NewPlasmaSolverWithScheme is NewPlasmaSolver with the periodic x-drift
+// advection scheme selected by name (see SchemeNames) — the knob
+// scheme-comparison sweeps turn.
+func NewPlasmaSolverWithScheme(nx, nv int, boxL, vmax float64, scheme string) (*PlasmaSolver, error) {
+	return plasma.NewWithScheme(nx, nv, boxL, vmax, scheme)
 }
 
 // LandauDampingRate returns the kinetic-theory Landau damping rate γ for
