@@ -2,18 +2,28 @@
 // counterpart of the single-run vlasov6d binary. The default sweep is a
 // scheme × resolution grid of Landau-damping validation runs: every
 // advection scheme at every phase-space resolution is driven through the
-// shared RunBatch worker pool, each job measures its own damping rate from
-// the field-energy peaks (delivered through the async observer pipeline,
-// off the job's step loop), and the final table compares every cell of the
-// grid against the kinetic-theory rate from the plasma dispersion function.
+// streaming scheduler's shared worker pool, each job measures its own
+// damping rate from the field-energy peaks (delivered through the async
+// observer pipeline, off the job's step loop), and the final table compares
+// every cell of the grid against the kinetic-theory rate from the plasma
+// dispersion function.
+//
+// The grid feeds a Stream: small grids carry higher priority so the table
+// fills coarse-to-fine, transient failures retry with backoff (-retries),
+// and with -resume-dir every job checkpoints into its own directory and a
+// re-invoked sweep resumes each job from its newest snapshot — kill a
+// campaign with Ctrl-C and run the same command again to continue it
+// instead of recomputing.
 //
 // Example:
 //
-//	sweep -schemes slmpp5,mp5,upwind1 -res 32x64,64x128 -workers 4 -wall 2m
+//	sweep -schemes slmpp5,mp5,upwind1 -res 32x64,64x128 -workers 4 \
+//	      -wall 2m -resume-dir /tmp/sweep-ckpts -retries 2
 //
-// Job status transitions stream as they happen (running → done/failed), so
-// a long sweep is observable while it runs; the batch shares one wall-clock
-// budget, and Ctrl-C cancels running jobs and skips queued ones.
+// Job status transitions stream as they happen (running → done/failed,
+// with attempt counts and the queued depth), so a long sweep is observable
+// while it runs; the pool shares one wall-clock budget, and Ctrl-C cancels
+// running jobs and skips queued ones.
 package main
 
 import (
@@ -41,6 +51,8 @@ type cell struct {
 	fit    analysis.DecayFit
 }
 
+func (c *cell) name() string { return fmt.Sprintf("%s@%dx%d", c.scheme, c.nx, c.nv) }
+
 // observe feeds the field energy to the damping-rate fit. It rides the
 // async observer pipeline: the job's step loop only enqueues diagnostics
 // snapshots.
@@ -53,13 +65,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		schemes = flag.String("schemes", "slmpp5,mp5,upwind1", "comma-separated x-drift advection schemes")
-		res     = flag.String("res", "32x64,64x128", "comma-separated NXxNV phase-space resolutions")
-		k       = flag.Float64("k", 0.5, "perturbation wavenumber (Debye-length units)")
-		alpha   = flag.Float64("alpha", 0.01, "perturbation amplitude")
-		until   = flag.Float64("until", 25, "integration time ω_p·t")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		wall    = flag.Duration("wall", 0, "shared wall-clock budget for the whole sweep (0 = unlimited)")
+		schemes   = flag.String("schemes", "slmpp5,mp5,upwind1", "comma-separated x-drift advection schemes")
+		res       = flag.String("res", "32x64,64x128", "comma-separated NXxNV phase-space resolutions")
+		k         = flag.Float64("k", 0.5, "perturbation wavenumber (Debye-length units)")
+		alpha     = flag.Float64("alpha", 0.01, "perturbation amplitude")
+		until     = flag.Float64("until", 25, "integration time ω_p·t")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		wall      = flag.Duration("wall", 0, "shared wall-clock budget for the whole sweep (0 = unlimited)")
+		resumeDir = flag.String("resume-dir", "", "per-job checkpoint root; a re-invoked sweep resumes each job from its newest snapshot")
+		retries   = flag.Int("retries", 0, "extra attempts per job after a transient (retryable) failure")
+		ckptEvery = flag.Int("ckpt-every", 25, "checkpoint cadence in steps (with -resume-dir)")
 	)
 	flag.Parse()
 
@@ -85,13 +100,60 @@ func main() {
 	fmt.Printf("Landau sweep: %d jobs (%s × %s), k·λ_D = %.2f, theory γ = %.4f\n",
 		len(grid), *schemes, *res, *k, theory)
 
-	jobs := make([]vlasov6d.BatchJob, len(grid))
-	for i, c := range grid {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var stream *vlasov6d.Stream
+	streamOpts := []vlasov6d.BatchOption{
+		vlasov6d.WithBatchNotify(func(u vlasov6d.BatchUpdate) {
+			depth := stream.Pending()
+			switch u.Status {
+			case vlasov6d.JobRunning:
+				log.Printf("%-18s running   (attempt %d, %d queued)", u.Name, u.Attempt, depth)
+			case vlasov6d.JobRetrying:
+				log.Printf("%-18s retrying  (attempt %d failed: %v)", u.Name, u.Attempt, u.Err)
+			case vlasov6d.JobDone:
+				log.Printf("%-18s done in %6.2fs (%d steps, attempt %d, stop: %v, %d queued)",
+					u.Name, u.Report.Wall.Seconds(), u.Report.Steps, u.Attempt, u.Report.Reason, depth)
+			case vlasov6d.JobFailed:
+				log.Printf("%-18s FAILED after %d attempt(s): %v", u.Name, u.Attempt, u.Err)
+			case vlasov6d.JobCancelled:
+				log.Printf("%-18s cancelled", u.Name)
+			}
+		}),
+		vlasov6d.WithBatchRetries(*retries),
+	}
+	if *workers > 0 {
+		streamOpts = append(streamOpts, vlasov6d.WithBatchWorkers(*workers))
+	}
+	if *wall > 0 {
+		streamOpts = append(streamOpts, vlasov6d.WithBatchWallClock(*wall))
+	}
+	if *resumeDir != "" {
+		streamOpts = append(streamOpts,
+			vlasov6d.WithJobCheckpoints(*resumeDir),
+			vlasov6d.WithJobCheckpointEvery(*ckptEvery))
+	}
+
+	stream, err := vlasov6d.NewStream(ctx, streamOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	for _, c := range grid {
 		c := c
-		jobs[i] = vlasov6d.BatchJob{
-			Name:  fmt.Sprintf("%s@%dx%d", c.scheme, c.nx, c.nv),
+		job := vlasov6d.BatchJob{
+			Name:  c.name(),
 			Until: *until,
+			// Smaller grids first: the table fills coarse-to-fine, so a
+			// budgeted (or killed) sweep still delivers the cheap cells.
+			Priority: -c.nx * c.nv,
 			New: func() (vlasov6d.Solver, error) {
+				// A retried attempt restarts the time series; the fit must
+				// not mix it with the failed attempt's samples (DecayFit
+				// requires monotone t).
+				c.fit = analysis.DecayFit{}
 				s, err := vlasov6d.NewPlasmaSolverWithScheme(c.nx, c.nv, 2*math.Pi/(*k), 8, c.scheme)
 				if err != nil {
 					return nil, err
@@ -103,52 +165,54 @@ func main() {
 				vlasov6d.WithAsyncObserver(c.observe, vlasov6d.WithAsyncBuffer(256)),
 			},
 		}
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	batchOpts := []vlasov6d.BatchOption{
-		vlasov6d.WithBatchNotify(func(u vlasov6d.BatchUpdate) {
-			switch u.Status {
-			case vlasov6d.JobRunning:
-				log.Printf("%-18s running", u.Name)
-			case vlasov6d.JobDone:
-				log.Printf("%-18s done in %6.2fs (%d steps, stop: %v)",
-					u.Name, u.Report.Wall.Seconds(), u.Report.Steps, u.Report.Reason)
-			case vlasov6d.JobFailed:
-				log.Printf("%-18s FAILED: %v", u.Name, u.Err)
-			case vlasov6d.JobCancelled:
-				log.Printf("%-18s cancelled", u.Name)
+		if *resumeDir != "" {
+			job.Restore = func(path string) (vlasov6d.Solver, error) {
+				// The fit state lives in this process, not the snapshot: a
+				// resumed job refits γ over the remaining time window only
+				// (resumed near the target it reports "—", never a number
+				// fitted on a broken series).
+				c.fit = analysis.DecayFit{}
+				f, err := os.Open(path)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				s, err := vlasov6d.RestorePlasmaSolver(f)
+				if err != nil {
+					return nil, err
+				}
+				if s.NX != c.nx || s.NV != c.nv || s.Scheme() != c.scheme {
+					return nil, fmt.Errorf("snapshot %s is %s@%dx%d, job wants %s",
+						path, s.Scheme(), s.NX, s.NV, c.name())
+				}
+				return s, nil
 			}
-		}),
+		}
+		if err := stream.Submit(job); err != nil {
+			log.Fatal(err)
+		}
 	}
-	if *workers > 0 {
-		batchOpts = append(batchOpts, vlasov6d.WithBatchWorkers(*workers))
-	}
-	if *wall > 0 {
-		batchOpts = append(batchOpts, vlasov6d.WithBatchWallClock(*wall))
+	stream.Close()
+
+	byName := make(map[string]vlasov6d.BatchResult, len(grid))
+	for r := range stream.Results() {
+		byName[r.Name] = r
 	}
 
-	start := time.Now()
-	results, err := vlasov6d.RunBatch(ctx, jobs, batchOpts...)
-	if err != nil && ctx.Err() == nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("\n%-12s %9s %10s %10s %8s  %s\n",
-		"scheme", "NX×NV", "γ fit", "γ theory", "err %", "status")
-	for i, r := range results {
-		c := grid[i]
+	fmt.Printf("\n%-12s %9s %10s %10s %8s %8s  %s\n",
+		"scheme", "NX×NV", "γ fit", "γ theory", "err %", "attempt", "status")
+	for _, c := range grid {
+		r := byName[c.name()]
 		label := fmt.Sprintf("%d×%d", c.nx, c.nv)
 		if r.Status != vlasov6d.JobDone || c.fit.Peaks() < 3 {
-			fmt.Printf("%-12s %9s %10s %10.4f %8s  %s\n",
-				c.scheme, label, "—", theory, "—", r.Status)
+			fmt.Printf("%-12s %9s %10s %10.4f %8s %8d  %s\n",
+				c.scheme, label, "—", theory, "—", r.Attempt, r.Status)
 			continue
 		}
 		gamma := c.fit.Gamma()
 		errPct := 100 * math.Abs(gamma-theory) / math.Abs(theory)
-		fmt.Printf("%-12s %9s %10.4f %10.4f %8.1f  %s\n",
-			c.scheme, label, gamma, theory, errPct, r.Status)
+		fmt.Printf("%-12s %9s %10.4f %10.4f %8.1f %8d  %s\n",
+			c.scheme, label, gamma, theory, errPct, r.Attempt, r.Status)
 	}
 	fmt.Printf("\nsweep finished in %.2fs wall\n", time.Since(start).Seconds())
 	if ctx.Err() != nil {

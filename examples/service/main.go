@@ -1,0 +1,125 @@
+// Example service: a long-lived, channel-fed scheduler — the shape of a
+// production deployment that accepts simulation work continuously instead
+// of running one hand-launched batch.
+//
+// A producer goroutine plays the role of incoming traffic: it submits
+// Landau-damping jobs to a Stream while earlier ones are still running.
+// Most are routine background work, every third is an "interactive"
+// request carrying higher priority (it jumps the queue), and one is flaky —
+// its factory fails twice with a transient error before succeeding, which
+// the stream's retry policy absorbs invisibly. A consumer goroutine reads
+// Results as they complete, exactly as a service would stream them back to
+// clients. Ctrl-C cancels: running jobs stop, queued ones come back
+// cancelled, and the stream drains without leaking a goroutine.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"time"
+
+	"vlasov6d"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("service: ")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	stream, err := vlasov6d.NewStream(ctx,
+		vlasov6d.WithBatchWorkers(2),
+		vlasov6d.WithBatchRetries(2),
+		vlasov6d.WithBatchRetryBackoff(50*time.Millisecond),
+		vlasov6d.WithBatchNotify(func(u vlasov6d.BatchUpdate) {
+			switch u.Status {
+			case vlasov6d.JobRetrying:
+				log.Printf("%-14s attempt %d failed transiently, backing off: %v",
+					u.Name, u.Attempt, u.Err)
+			case vlasov6d.JobRunning:
+				if u.Attempt > 1 {
+					log.Printf("%-14s retrying (attempt %d)", u.Name, u.Attempt)
+				}
+			}
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The producer: 12 jobs trickling in while the pool works. Priority 10
+	// marks the interactive requests; the flaky job's factory fails twice
+	// with a retryable error before constructing its solver.
+	const jobs = 12
+	go func() {
+		var flakyAttempts atomic.Int64
+		for i := 0; i < jobs; i++ {
+			name := fmt.Sprintf("bg-%02d", i)
+			priority := 0
+			if i%3 == 2 {
+				name = fmt.Sprintf("interactive-%02d", i)
+				priority = 10
+			}
+			flaky := i == 4
+			if flaky {
+				name = "flaky-04"
+			}
+			job := vlasov6d.BatchJob{
+				Name:     name,
+				Until:    8,
+				Priority: priority,
+				New: func() (vlasov6d.Solver, error) {
+					if flaky && flakyAttempts.Add(1) < 3 {
+						return nil, vlasov6d.MarkRetryable(errors.New("checkpoint volume briefly unavailable"))
+					}
+					s, err := vlasov6d.NewPlasmaSolver(32, 64, 4*math.Pi, 6)
+					if err != nil {
+						return nil, err
+					}
+					s.LandauInit(0.01, 0.5, 1)
+					return s, nil
+				},
+			}
+			if err := stream.Submit(job); err != nil {
+				log.Printf("submit %s: %v", name, err)
+				return
+			}
+			log.Printf("%-14s submitted (priority %d, queue depth %d)",
+				name, priority, stream.Pending())
+			select {
+			case <-time.After(40 * time.Millisecond):
+			case <-ctx.Done():
+				return
+			}
+		}
+		stream.Close() // intake ends; the pool drains what is queued
+	}()
+
+	// The consumer: results stream back in completion order.
+	var done, failed, cancelled int
+	for r := range stream.Results() {
+		switch r.Status {
+		case vlasov6d.JobDone:
+			done++
+			log.Printf("%-14s done: %d steps in %v (attempt %d)",
+				r.Name, r.Report.Steps, r.Report.Wall.Round(time.Millisecond), r.Attempt)
+		case vlasov6d.JobFailed:
+			failed++
+			log.Printf("%-14s failed after %d attempt(s): %v", r.Name, r.Attempt, r.Err)
+		case vlasov6d.JobCancelled:
+			cancelled++
+			log.Printf("%-14s cancelled", r.Name)
+		}
+	}
+	log.Printf("stream drained: %d done, %d failed, %d cancelled of %d submitted",
+		done, failed, cancelled, stream.Submitted())
+	if ctx.Err() != nil {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+package vlasov6d
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"vlasov6d/internal/analysis"
+)
+
+// TestGoldenLandauDampingRate is the physics regression gate for the
+// runner/scheduler stack: the 1D1V Landau-damping problem, driven through
+// the same Run call every scheduler layer bottoms out in, must reproduce
+// the kinetic-theory damping rate for both the paper's SL-MPP5 scheme and
+// the MP5 comparator. A refactor of the driver, the batch layer or the
+// stream layer that corrupts stepping, clocking or observer delivery
+// cannot pass this test silently.
+func TestGoldenLandauDampingRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second physics run; the plain CI job covers it")
+	}
+	const (
+		k     = 0.5
+		alpha = 0.01
+		until = 25.0
+	)
+	theory := LandauDampingRate(k, 1) // γ ≈ −0.1533 at k·λ_D = 0.5
+	for _, scheme := range []string{"slmpp5", "mp5"} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			s, err := NewPlasmaSolverWithScheme(64, 256, 2*math.Pi/k, 8, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.LandauInit(alpha, k, 1)
+			// Adaptive stepping: SuggestDT caps the step at each scheme's
+			// own stability limit (MP5 requires CFL ≤ 1; SL-MPP5 does not).
+			var fit analysis.DecayFit
+			rep, err := Run(context.Background(), s, until,
+				WithObserver(func(step int, sv Solver) error {
+					d := sv.Diagnostics()
+					fit.Add(d.Time, d.Extra["field_energy"])
+					return nil
+				}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Reason != ReasonUntil {
+				t.Fatalf("stop reason %v", rep.Reason)
+			}
+			if fit.Peaks() < 3 {
+				t.Fatalf("only %d field-energy peaks: no trustworthy fit", fit.Peaks())
+			}
+			gamma := fit.Gamma()
+			if relErr := math.Abs(gamma-theory) / math.Abs(theory); relErr > 0.15 {
+				t.Fatalf("%s: fitted γ = %.4f, theory %.4f (rel err %.1f%%)",
+					scheme, gamma, theory, 100*relErr)
+			}
+		})
+	}
+}

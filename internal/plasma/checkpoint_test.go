@@ -1,0 +1,157 @@
+package plasma
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func landauSolver(t *testing.T, scheme string) *Solver {
+	t.Helper()
+	s, err := NewWithScheme(32, 64, 4*math.Pi, 6, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LandauInit(0.01, 0.5, 1)
+	return s
+}
+
+func stepN(t *testing.T, s *Solver, n int, dt float64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := s.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s := landauSolver(t, "mp5")
+	s.CFL = 0.3
+	stepN(t, s, 7, 0.05)
+
+	var buf bytes.Buffer
+	n, err := s.Checkpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	r, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NX != s.NX || r.NV != s.NV || r.L != s.L || r.VMax != s.VMax {
+		t.Fatalf("restored shape %dx%d L=%v Vmax=%v", r.NX, r.NV, r.L, r.VMax)
+	}
+	if r.Scheme() != "mp5" {
+		t.Fatalf("restored scheme %q", r.Scheme())
+	}
+	if r.Time != s.Time || r.CFL != s.CFL {
+		t.Fatalf("restored time %v cfl %v, want %v %v", r.Time, r.CFL, s.Time, s.CFL)
+	}
+	for i := range s.F {
+		if r.F[i] != s.F[i] {
+			t.Fatalf("F differs at %d: %v vs %v", i, r.F[i], s.F[i])
+		}
+	}
+	// The restored solver must be immediately usable: the field cache is
+	// rebuilt, so SuggestDT and Diagnostics work before the first step.
+	if dt := r.SuggestDT(); dt <= 0 {
+		t.Fatalf("restored SuggestDT %v", dt)
+	}
+	if e := r.Diagnostics().Extra["field_energy"]; e <= 0 {
+		t.Fatalf("restored field energy %v", e)
+	}
+}
+
+func TestCheckpointChecksumDetectsCorruption(t *testing.T) {
+	s := landauSolver(t, "slmpp5")
+	stepN(t, s, 3, 0.05)
+	var buf bytes.Buffer
+	if _, err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0x40
+	if _, err := Restore(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	if _, err := Restore(bytes.NewReader(raw[:len(raw)/3])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestRestoreRejectsImplausibleGridWithoutAllocating(t *testing.T) {
+	// A corrupt header whose dimensions pass the per-axis bound must still
+	// fail with an error (which schedulers quarantine on), never reach a
+	// makeslice panic or an OOM-sized allocation.
+	s := landauSolver(t, "slmpp5")
+	var buf bytes.Buffer
+	if _, err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Layout: magic(8) + nameLen(8) + "slmpp5"(6) + nx(8) + nv(8) + ...
+	le := binary.LittleEndian
+	le.PutUint64(raw[22:], 1<<24) // nx: within the per-axis bound
+	le.PutUint64(raw[30:], 1<<24) // nv: product 2^48 cells
+	if _, err := Restore(bytes.NewReader(raw)); err == nil {
+		t.Fatal("2^48-cell grid accepted")
+	}
+}
+
+func TestCaptureCheckpointIsolatesState(t *testing.T) {
+	// The captured write closure must serialise the state at capture time,
+	// not whatever the live solver holds when the async pipeline finally
+	// writes it.
+	s := landauSolver(t, "slmpp5")
+	stepN(t, s, 4, 0.05)
+	var want bytes.Buffer
+	if _, err := s.Checkpoint(&want); err != nil {
+		t.Fatal(err)
+	}
+	write, err := s.CaptureCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, s, 5, 0.05) // mutate after capture
+	var got bytes.Buffer
+	if _, err := write(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("captured checkpoint drifted with the live solver")
+	}
+}
+
+func TestCheckpointResumeContinuesBitIdentically(t *testing.T) {
+	// Stop/restore/continue must land bit-identically on an uninterrupted
+	// run: resume correctness is exactness, not approximation.
+	const dt = 0.05
+	ref := landauSolver(t, "slmpp5")
+	stepN(t, ref, 20, dt)
+
+	half := landauSolver(t, "slmpp5")
+	stepN(t, half, 10, dt)
+	var buf bytes.Buffer
+	if _, err := half.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, resumed, 10, dt)
+
+	if resumed.Time != ref.Time {
+		t.Fatalf("clock %v vs %v", resumed.Time, ref.Time)
+	}
+	for i := range ref.F {
+		if resumed.F[i] != ref.F[i] {
+			t.Fatalf("resumed F differs at %d: %v vs %v", i, resumed.F[i], ref.F[i])
+		}
+	}
+}

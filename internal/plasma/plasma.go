@@ -37,12 +37,13 @@ type Solver struct {
 	// semi-Lagrangian scheme tolerates larger values at reduced accuracy).
 	CFL float64
 
-	per  advect.Scheme
-	open *advect.SLMPP5
-	plan *fft.Plan
-	rho  []float64
-	e    []float64
-	buf  []float64
+	per    advect.Scheme
+	scheme string
+	open   *advect.SLMPP5
+	plan   *fft.Plan
+	rho    []float64
+	e      []float64
+	buf    []float64
 }
 
 // New allocates a solver with the paper's SL-MPP5 advection. nx and nv
@@ -73,16 +74,20 @@ func NewWithScheme(nx, nv int, boxL, vmax float64, scheme string) (*Solver, erro
 	}
 	return &Solver{
 		NX: nx, NV: nv, L: boxL, VMax: vmax,
-		CFL:  0.4,
-		F:    make([]float64, nx*nv),
-		per:  per,
-		open: advect.NewSLMPP5(),
-		plan: plan,
-		rho:  make([]float64, nx),
-		e:    make([]float64, nx),
-		buf:  make([]float64, nx),
+		CFL:    0.4,
+		F:      make([]float64, nx*nv),
+		per:    per,
+		scheme: scheme,
+		open:   advect.NewSLMPP5(),
+		plan:   plan,
+		rho:    make([]float64, nx),
+		e:      make([]float64, nx),
+		buf:    make([]float64, nx),
 	}, nil
 }
+
+// Scheme returns the name of the periodic x-drift advection scheme.
+func (s *Solver) Scheme() string { return s.scheme }
 
 // DX returns the spatial cell width.
 func (s *Solver) DX() float64 { return s.L / float64(s.NX) }

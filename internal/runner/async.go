@@ -262,16 +262,18 @@ func (p *pipeline) consume() {
 // pruning, recording the file and byte count for the post-drain Report
 // merge.
 func (p *pipeline) writeCheckpoint(ev event) error {
+	// Snapshot I/O failures are marked retryable (see the sync path in
+	// Run): a scheduler retry re-runs the job from its newest good file.
 	path, n, err := writeCheckpointFile(p.ckptDir, ev.clock, ev.ckpt)
 	if err != nil {
-		return fmt.Errorf("runner: async checkpoint after step %d: %w", ev.step, err)
+		return MarkRetryable(fmt.Errorf("runner: async checkpoint after step %d: %w", ev.step, err))
 	}
 	p.written = append(p.written, path)
 	p.bytes += n
 	if p.ckptKeep > 0 {
 		p.written, err = pruneCheckpoints(p.ckptDir, p.ckptKeep, p.written)
 		if err != nil {
-			return fmt.Errorf("runner: async checkpoint retention: %w", err)
+			return MarkRetryable(fmt.Errorf("runner: async checkpoint retention: %w", err))
 		}
 	}
 	return nil

@@ -1,0 +1,51 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func touch(t *testing.T, path string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListCheckpointsLiteralDirectory(t *testing.T) {
+	// The directory is data, not a glob pattern: metacharacters in a
+	// user-chosen checkpoint root ("run[1]") must not disable listing —
+	// silently losing resume and retention would recompute whole campaigns.
+	dir := filepath.Join(t.TempDir(), "run[1]")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	touch(t, filepath.Join(dir, "ckpt_00000002.00000000.v6d"))
+	touch(t, filepath.Join(dir, "ckpt_00000001.00000000.v6d"))
+	touch(t, filepath.Join(dir, "ckpt_00000001.00000000.v6d.corrupt")) // quarantined: excluded
+	touch(t, filepath.Join(dir, "notes.txt"))                          // unrelated: excluded
+
+	got, err := ListCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("listed %v, want the 2 ckpt files", got)
+	}
+	if filepath.Base(got[0]) != "ckpt_00000001.00000000.v6d" ||
+		filepath.Base(got[1]) != "ckpt_00000002.00000000.v6d" {
+		t.Fatalf("order %v, want oldest first", got)
+	}
+	latest, err := LatestCheckpoint(dir)
+	if err != nil || filepath.Base(latest) != "ckpt_00000002.00000000.v6d" {
+		t.Fatalf("latest %q (%v)", latest, err)
+	}
+}
+
+func TestListCheckpointsMissingDirEmpty(t *testing.T) {
+	got, err := ListCheckpoints(filepath.Join(t.TempDir(), "never-created"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("missing dir: %v, %v — want empty list, nil error", got, err)
+	}
+}

@@ -1,0 +1,56 @@
+// Retryable-error classification: the contract between solvers (and their
+// factories) and the schedulers that re-run them.
+//
+// A long-lived service re-submits work that failed for a *transient* reason
+// — a full disk that an operator is clearing, a checkpoint volume briefly
+// unmounted, a flaky downstream collector — but must never retry a
+// deterministic failure (an unstable configuration diverges identically on
+// every attempt, so retrying it only burns the pool). The boundary between
+// the two is knowledge only the failing code has, so it is expressed by
+// wrapping: whoever returns an error it knows to be transient marks it with
+// MarkRetryable, and the scheduler's retry policy fires only on errors that
+// carry the mark somewhere in their chain.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// retryableError wraps an error to mark it transient. It participates in
+// errors.Is/As chains through Unwrap.
+type retryableError struct{ err error }
+
+func (r *retryableError) Error() string { return fmt.Sprintf("retryable: %v", r.err) }
+
+func (r *retryableError) Unwrap() error { return r.err }
+
+// Retryable implements the classification interface IsRetryable looks for.
+func (r *retryableError) Retryable() bool { return true }
+
+// MarkRetryable wraps err so IsRetryable reports it as transient. A nil err
+// returns nil. Cancellation is never retryable regardless of marking: a
+// cancelled job was stopped on purpose, not by a fault.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err: err}
+}
+
+// IsRetryable reports whether err carries a transient mark anywhere in its
+// wrap chain — either a MarkRetryable wrapper or any error implementing
+// `Retryable() bool` (so solver packages can classify their own error types
+// without importing this one). Context cancellation and deadline errors are
+// never retryable, even if a careless wrapper marked them.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var r interface{ Retryable() bool }
+	return errors.As(err, &r) && r.Retryable()
+}

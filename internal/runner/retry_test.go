@@ -1,0 +1,54 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// selfClassified is an error type that classifies itself transient without
+// the MarkRetryable wrapper — the solver-package path.
+type selfClassified struct{}
+
+func (selfClassified) Error() string   { return "transient by construction" }
+func (selfClassified) Retryable() bool { return true }
+
+func TestRetryableClassification(t *testing.T) {
+	base := errors.New("disk full")
+	if IsRetryable(base) {
+		t.Fatal("unmarked error classified retryable")
+	}
+	if IsRetryable(nil) {
+		t.Fatal("nil classified retryable")
+	}
+	marked := MarkRetryable(base)
+	if !IsRetryable(marked) {
+		t.Fatal("marked error not classified retryable")
+	}
+	if !errors.Is(marked, base) {
+		t.Fatal("marking broke the errors.Is chain")
+	}
+	// The mark survives further wrapping — the scheduler sees errors after
+	// the runner and the job layer have both wrapped them.
+	wrapped := fmt.Errorf("runner: step 7: %w", marked)
+	if !IsRetryable(wrapped) {
+		t.Fatal("wrap hid the retryable mark")
+	}
+	if !IsRetryable(selfClassified{}) {
+		t.Fatal("self-classified error not recognised")
+	}
+	if MarkRetryable(nil) != nil {
+		t.Fatal("MarkRetryable(nil) not nil")
+	}
+}
+
+func TestCancellationNeverRetryable(t *testing.T) {
+	// A cancelled job was stopped on purpose: even a careless wrapper
+	// cannot make the scheduler re-run it.
+	for _, err := range []error{context.Canceled, context.DeadlineExceeded} {
+		if IsRetryable(MarkRetryable(fmt.Errorf("aborted: %w", err))) {
+			t.Fatalf("%v classified retryable despite being cancellation", err)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -252,8 +253,12 @@ func Run(ctx context.Context, s Solver, until float64, opts ...Option) (*Report,
 				return rep, fmt.Errorf("runner: checkpointing unsupported: %w", err)
 			}
 		}
+		// Checkpoint I/O failures are marked retryable throughout: they are
+		// the canonical transient fault (a full disk being cleared, a
+		// briefly unmounted volume), and a scheduler-level retry re-runs
+		// the job from its newest good snapshot.
 		if err := os.MkdirAll(o.ckptDir, 0o755); err != nil {
-			return rep, fmt.Errorf("runner: checkpoint dir: %w", err)
+			return rep, MarkRetryable(fmt.Errorf("runner: checkpoint dir: %w", err))
 		}
 	}
 	// Async pipeline: started after validation so every early return above
@@ -355,14 +360,14 @@ func Run(ctx context.Context, s Solver, until float64, opts ...Option) (*Report,
 			} else {
 				path, n, err := writeCheckpointFile(o.ckptDir, rep.Clock, ckpt.Checkpoint)
 				if err != nil {
-					return finish(fmt.Errorf("runner: checkpoint at step %d: %w", rep.Steps, err))
+					return finish(MarkRetryable(fmt.Errorf("runner: checkpoint at step %d: %w", rep.Steps, err)))
 				}
 				rep.Checkpoints = append(rep.Checkpoints, path)
 				rep.CheckpointBytes += n
 				if o.ckptKeep > 0 {
 					rep.Checkpoints, err = pruneCheckpoints(o.ckptDir, o.ckptKeep, rep.Checkpoints)
 					if err != nil {
-						return finish(fmt.Errorf("runner: checkpoint retention at step %d: %w", rep.Steps, err))
+						return finish(MarkRetryable(fmt.Errorf("runner: checkpoint retention at step %d: %w", rep.Steps, err)))
 					}
 				}
 			}
@@ -398,14 +403,13 @@ func writeCheckpointFile(dir string, clock float64, write func(io.Writer) (int64
 // pruneCheckpoints enforces the keep-newest-n retention policy over every
 // ckpt_*.v6d in dir and returns written filtered to the surviving files.
 func pruneCheckpoints(dir string, keep int, written []string) ([]string, error) {
-	matches, err := filepath.Glob(filepath.Join(dir, "ckpt_*.v6d"))
+	matches, err := ListCheckpoints(dir)
 	if err != nil {
 		return written, err
 	}
 	if len(matches) <= keep {
 		return written, nil
 	}
-	sort.Strings(matches)
 	removed := make(map[string]bool, len(matches)-keep)
 	for _, f := range matches[:len(matches)-keep] {
 		if err := os.Remove(f); err != nil {
@@ -426,13 +430,37 @@ func pruneCheckpoints(dir string, keep int, written []string) ([]string, error) 
 // embed a fixed-width clock, so the newest checkpoint is the
 // lexicographically last ckpt_*.v6d even across stop/resume cycles.
 func LatestCheckpoint(dir string) (string, error) {
-	matches, err := filepath.Glob(filepath.Join(dir, "ckpt_*.v6d"))
+	matches, err := ListCheckpoints(dir)
 	if err != nil {
 		return "", err
 	}
 	if len(matches) == 0 {
 		return "", fmt.Errorf("runner: no ckpt_*.v6d files in %s", dir)
 	}
-	sort.Strings(matches)
 	return matches[len(matches)-1], nil
+}
+
+// ListCheckpoints returns every checkpoint file in dir, oldest first (clock
+// order). A missing or empty directory yields an empty list, not an error —
+// the caller decides whether "nothing to resume from" is a problem. The
+// directory is data, not a pattern: it is read literally, so a checkpoint
+// root containing glob metacharacters ("run[1]") lists exactly the files
+// the writer put there.
+func ListCheckpoints(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var matches []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, "ckpt_") && strings.HasSuffix(name, ".v6d") {
+			matches = append(matches, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(matches)
+	return matches, nil
 }

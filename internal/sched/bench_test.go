@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"vlasov6d/internal/runner"
+)
+
+// trivialJob finishes in one step — the job body is ~free, so these benches
+// time the scheduler's own dispatch overhead: queueing, status transitions,
+// result delivery. The BENCH trajectory tracks jobs/sec of the stream path
+// against the slice path so the streaming layer's extra machinery (heap,
+// channels, retry plumbing) stays visibly cheap.
+func trivialJob(name string) Job {
+	return Job{
+		Name:  name,
+		Until: 1,
+		New:   func() (runner.Solver, error) { return &fake{dt: 1}, nil },
+	}
+}
+
+// BenchmarkSchedulerDispatch times the slice path: RunBatch over batches of
+// trivial jobs.
+func BenchmarkSchedulerDispatch(b *testing.B) {
+	const batch = 64
+	jobs := make([]Job, batch)
+	for i := range jobs {
+		jobs[i] = trivialJob(fmt.Sprintf("j%d", i))
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := RunBatch(ctx, jobs, WithWorkers(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != batch {
+			b.Fatal("short batch")
+		}
+	}
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkStreamThroughput times the stream path: the same trivial jobs
+// submitted through the priority queue with results consumed concurrently.
+func BenchmarkStreamThroughput(b *testing.B) {
+	const batch = 64
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewStream(ctx, WithWorkers(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan int)
+		go func() {
+			n := 0
+			for range s.Results() {
+				n++
+			}
+			done <- n
+		}()
+		for j := 0; j < batch; j++ {
+			if err := s.Submit(trivialJob(fmt.Sprintf("j%d", j))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Close()
+		if n := <-done; n != batch {
+			b.Fatal("short stream")
+		}
+	}
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

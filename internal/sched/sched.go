@@ -1,16 +1,25 @@
 // Package sched multiplexes many runner.Run calls over a bounded worker
-// pool: the batch layer the unified Runner API was built to enable.
+// pool. It is the middle and top of the three-layer execution model the
+// facade exposes:
+//
+//	Run       — one solver, one driver loop (internal/runner);
+//	RunBatch  — a fixed slice of named jobs over a worker pool, results in
+//	            job order (this package's batch layer);
+//	Stream    — a long-lived, channel-fed scheduler: jobs are submitted
+//	            while earlier ones run, dispatched by priority, retried on
+//	            transient failure, and drained gracefully on Close or
+//	            context cancellation (this package's service layer).
 //
 // The paper's production campaign is not one simulation but a matrix of
 // them — scheme comparisons, resolution scalings, control runs — and the
-// ROADMAP's north star is serving many scenarios concurrently rather than
-// one hand-launched binary at a time. A batch is a slice of named Jobs,
-// each a solver *factory* plus run options; the scheduler executes them on
-// at most WithWorkers goroutines (default GOMAXPROCS, capped at the job
-// count) under one shared context and, optionally, one shared wall-clock
-// budget.
+// ROADMAP's north star is a service that accepts work continuously rather
+// than one hand-launched binary at a time. A batch is a slice of named
+// Jobs, each a solver *factory* plus run options; a stream accepts the same
+// Jobs one Submit at a time. Both execute on a bounded worker pool
+// (default GOMAXPROCS) under one shared context and, optionally, one shared
+// wall-clock budget.
 //
-// Semantics:
+// Batch semantics:
 //
 //   - Solvers are constructed by the job's factory on the worker that runs
 //     it, never up front, so a 100-job sweep holds at most `workers` live
@@ -32,6 +41,31 @@
 //     Result. The batch-level error reports only scheduler-level problems:
 //     an empty or invalid job list, or context cancellation.
 //
+// Stream semantics (see Stream for the full contract): Submit enqueues onto
+// a priority heap (higher Job.Priority dispatches first, FIFO within a
+// priority), Close stops intake and lets the pool drain everything already
+// queued, and cancelling the context stops running jobs and reports queued
+// ones Cancelled. Results are delivered on a channel in completion order.
+//
+// Retries (both layers): a job whose factory or Run call fails with an
+// error marked retryable (runner.MarkRetryable, or any error implementing
+// `Retryable() bool`) is re-run up to WithRetries times with doubling
+// backoff (WithRetryBackoff), transitioning through Retrying between
+// attempts. Deterministic failures — a diverging configuration fails
+// identically every time — are never retried, and neither is cancellation.
+//
+// Checkpoint-aware resume (both layers): WithJobCheckpoints(dir) gives
+// every job its own checkpoint directory dir/<sanitised job name> and wires
+// the runner's checkpoint cadence and retention into each Run call. A job
+// that also carries a Restore hook is auto-resumed: before calling New, the
+// scheduler looks for the newest snapshot in the job's directory and hands
+// it to Restore, so re-submitting a killed job (or re-running a killed
+// batch) continues from its last checkpoint instead of recomputing. A
+// corrupt newest snapshot is quarantined (renamed *.corrupt) and the next
+// newest tried; only when no snapshot restores does the job fall back to a
+// cold start through New. Job names must be unique after sanitisation —
+// the name *is* the resume key.
+//
 // Jobs combine freely with the runner's async observer pipeline
 // (runner.WithAsyncObserver in a job's Opts): each job then gets its own
 // bounded diagnostics/checkpoint queue with the back-pressure policy it
@@ -43,31 +77,50 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"vlasov6d/internal/runner"
 )
 
-// Job is one named unit of batch work: a solver factory, the clock target
-// to drive it to, and the runner options for its Run call.
+// Job is one named unit of work: a solver factory, the clock target to
+// drive it to, and the runner options for its Run call. The same Job type
+// feeds both the batch layer (RunBatch) and the stream layer (Submit).
 type Job struct {
-	// Name identifies the job in Results and progress updates.
+	// Name identifies the job in Results and progress updates. Under
+	// WithJobCheckpoints it also keys the job's checkpoint directory, so it
+	// must be unique (after sanitisation) among the jobs sharing that root:
+	// re-submitting a Job with the same Name is how a killed job resumes.
 	Name string
 	// New constructs the solver. It runs on the worker goroutine executing
 	// the job (not at submission), so per-job memory is bounded by the
 	// worker count and an expensive construction (IC generation) counts
 	// against the job's share of the batch, not the caller's.
 	New func() (runner.Solver, error)
+	// Restore rebuilds the solver from a checkpoint file (optional). When
+	// set and WithJobCheckpoints is active, the scheduler resumes the job
+	// from the newest restorable snapshot in its directory instead of
+	// calling New; a snapshot Restore rejects is quarantined and the next
+	// newest tried.
+	Restore func(path string) (runner.Solver, error)
 	// Until is the clock target handed to runner.Run.
 	Until float64
+	// Priority orders dispatch in the stream layer: higher runs first,
+	// equal priorities run in submission order. The batch layer ignores it
+	// (a slice is already an explicit order).
+	Priority int
 	// Opts are the runner options for this job's Run call. The scheduler
-	// may append a wall-clock option when the batch has a shared budget.
+	// may append wall-clock and checkpoint options from its own
+	// configuration.
 	Opts []runner.Option
 }
 
-// Status is the lifecycle state of a job in a batch.
+// Status is the lifecycle state of a job.
 type Status int
 
 const (
@@ -77,10 +130,14 @@ const (
 	Running
 	// Done: runner.Run returned without error (any stop reason).
 	Done
-	// Failed: the factory or runner.Run returned a non-cancellation error.
+	// Failed: the factory or runner.Run returned a non-cancellation error
+	// that was not retried (not retryable, or attempts exhausted).
 	Failed
-	// Cancelled: the batch context was cancelled before or during the job.
+	// Cancelled: the context was cancelled before or during the job.
 	Cancelled
+	// Retrying: the last attempt failed with a retryable error and the job
+	// is backing off before its next attempt.
+	Retrying
 )
 
 func (s Status) String() string {
@@ -95,16 +152,22 @@ func (s Status) String() string {
 		return "failed"
 	case Cancelled:
 		return "cancelled"
+	case Retrying:
+		return "retrying"
 	}
 	return fmt.Sprintf("status(%d)", int(s))
 }
 
-// Result is the outcome of one job. Results are returned in job order.
+// Result is the outcome of one job. Batch results are returned in job
+// order; stream results are delivered in completion order.
 type Result struct {
 	// Name echoes the job name.
 	Name string
 	// Status is the job's final state.
 	Status Status
+	// Attempt is the 1-based attempt that produced this outcome (> 1 only
+	// when retries fired).
+	Attempt int
 	// Report is the runner report of a job that ran (nil for jobs
 	// cancelled while still queued or whose factory failed).
 	Report *runner.Report
@@ -114,40 +177,51 @@ type Result struct {
 }
 
 // Update is one job status transition, delivered to the WithNotify callback
-// as the batch executes — the hook progress tables hang off.
+// as work executes — the hook progress tables hang off.
 type Update struct {
-	// Index is the job's position in the batch.
+	// Index is the job's position in the batch, or its submission sequence
+	// number in a stream.
 	Index int
 	// Name echoes the job name.
 	Name string
 	// Status is the state just entered.
 	Status Status
-	// Err accompanies Failed and (when the job was running) Cancelled.
+	// Attempt is the 1-based attempt this transition belongs to.
+	Attempt int
+	// Err accompanies Failed, Retrying and (when the job was running)
+	// Cancelled.
 	Err error
 	// Report accompanies Done and run-level failures.
 	Report *runner.Report
 }
 
 type options struct {
-	workers int
-	wall    time.Duration
-	notify  func(Update)
+	workers     int
+	wall        time.Duration
+	notify      func(Update)
+	retries     int
+	backoff     time.Duration
+	ckptDir     string
+	ckptEvery   int
+	ckptKeep    int
+	ckptKeepSet bool
 }
 
-// Option configures a Scheduler or a RunBatch call.
+// Option configures a Scheduler, a RunBatch call or a Stream.
 type Option func(*options)
 
-// WithWorkers bounds the worker pool (default GOMAXPROCS; always further
-// capped at the number of jobs).
+// WithWorkers bounds the worker pool (default GOMAXPROCS; the batch layer
+// further caps it at the job count).
 func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
 }
 
-// WithWallClock gives the whole batch one shared wall-clock budget. Each
-// job starts with the budget remaining at its start time as its own
-// runner wall-clock limit; once the budget is exhausted, every remaining
-// job still takes at least one step (the runner's forward-progress
-// guarantee), so a checkpoint-cadenced batch can be resumed job by job.
+// WithWallClock gives the whole batch (or stream) one shared wall-clock
+// budget. Each job starts with the budget remaining at its start time as
+// its own runner wall-clock limit; once the budget is exhausted, every
+// remaining job still takes at least one step (the runner's
+// forward-progress guarantee), so a checkpoint-cadenced campaign can be
+// resumed job by job.
 func WithWallClock(budget time.Duration) Option {
 	return func(o *options) { o.wall = budget }
 }
@@ -155,9 +229,80 @@ func WithWallClock(budget time.Duration) Option {
 // WithNotify registers a callback for job status transitions. Calls are
 // serialised by the scheduler, so the callback may print or mutate shared
 // state without its own locking; it must not block for long (it stalls the
-// notifying worker, not the whole batch).
+// notifying worker, not the whole pool).
 func WithNotify(fn func(Update)) Option {
 	return func(o *options) { o.notify = fn }
+}
+
+// WithRetries allows each job up to n additional attempts after a failure
+// that runner.IsRetryable classifies as transient (default 0: fail fast).
+// Non-retryable failures and cancellation are never retried.
+func WithRetries(n int) Option {
+	return func(o *options) { o.retries = n }
+}
+
+// WithRetryBackoff sets the delay before the first retry (default 100 ms);
+// each further retry doubles it. The backoff sleep is cancellable: a
+// context cancellation during backoff reports the job Cancelled.
+func WithRetryBackoff(d time.Duration) Option {
+	return func(o *options) { o.backoff = d }
+}
+
+// WithJobCheckpoints gives every job a private checkpoint directory
+// dir/<sanitised job name> and appends the runner's WithCheckpoint (cadence
+// from WithJobCheckpointEvery, default every 10 steps) and
+// WithCheckpointKeep (retention from WithJobCheckpointKeep, default 3) to
+// each job's run options. Jobs whose solver cannot checkpoint fail at step
+// 0 — same as calling runner.WithCheckpoint directly. Combined with a Job
+// Restore hook this is the kill-and-resume contract: see the package
+// comment.
+func WithJobCheckpoints(dir string) Option {
+	return func(o *options) { o.ckptDir = dir }
+}
+
+// WithJobCheckpointEvery sets the per-job checkpoint cadence in steps used
+// by WithJobCheckpoints (default 10).
+func WithJobCheckpointEvery(n int) Option {
+	return func(o *options) { o.ckptEvery = n }
+}
+
+// WithJobCheckpointKeep sets the per-job checkpoint retention used by
+// WithJobCheckpoints (default 3; 0 keeps everything).
+func WithJobCheckpointKeep(n int) Option {
+	return func(o *options) {
+		o.ckptKeep = n
+		o.ckptKeepSet = true
+	}
+}
+
+// buildOptions applies opts over defaults and validates the result.
+func buildOptions(opts []Option) (options, error) {
+	o := options{ckptEvery: 10, backoff: 100 * time.Millisecond}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if !o.ckptKeepSet {
+		o.ckptKeep = 3
+	}
+	if o.workers < 0 {
+		return o, fmt.Errorf("sched: worker count %d must be non-negative", o.workers)
+	}
+	if o.wall < 0 {
+		return o, fmt.Errorf("sched: wall-clock budget %v must be non-negative", o.wall)
+	}
+	if o.retries < 0 {
+		return o, fmt.Errorf("sched: retry count %d must be non-negative", o.retries)
+	}
+	if o.backoff < 0 {
+		return o, fmt.Errorf("sched: retry backoff %v must be non-negative", o.backoff)
+	}
+	if o.ckptEvery < 1 {
+		return o, fmt.Errorf("sched: checkpoint cadence %d must be ≥ 1 step", o.ckptEvery)
+	}
+	if o.ckptKeep < 0 {
+		return o, fmt.Errorf("sched: checkpoint retention %d must be non-negative", o.ckptKeep)
+	}
+	return o, nil
 }
 
 // Scheduler executes batches of jobs over a bounded worker pool. The zero
@@ -169,15 +314,9 @@ type Scheduler struct {
 
 // New builds a scheduler with the given defaults.
 func New(opts ...Option) (*Scheduler, error) {
-	var o options
-	for _, opt := range opts {
-		opt(&o)
-	}
-	if o.workers < 0 {
-		return nil, fmt.Errorf("sched: worker count %d must be non-negative", o.workers)
-	}
-	if o.wall < 0 {
-		return nil, fmt.Errorf("sched: wall-clock budget %v must be non-negative", o.wall)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
 	}
 	return &Scheduler{opts: o}, nil
 }
@@ -199,9 +338,20 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("sched: empty batch")
 	}
+	seen := make(map[string]int, len(jobs))
 	for i, j := range jobs {
 		if j.New == nil {
 			return nil, fmt.Errorf("sched: job %d (%q) has no solver factory", i, j.Name)
+		}
+		if s.opts.ckptDir != "" {
+			// The sanitised name keys the checkpoint directory; a collision
+			// would silently cross-resume two jobs.
+			key := sanitizeJobName(j.Name)
+			if prev, dup := seen[key]; dup {
+				return nil, fmt.Errorf("sched: jobs %d (%q) and %d (%q) share checkpoint key %q",
+					prev, jobs[prev].Name, i, j.Name, key)
+			}
+			seen[key] = i
 		}
 	}
 	workers := s.opts.workers
@@ -223,14 +373,15 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	}
 
 	var mu sync.Mutex // guards results transitions and serialises notify
-	transition := func(i int, st Status, rep *runner.Report, err error) {
+	transition := func(i int, st Status, attempt int, rep *runner.Report, err error) {
 		mu.Lock()
 		results[i].Status = st
+		results[i].Attempt = attempt
 		results[i].Report = rep
 		results[i].Err = err
 		fn := s.opts.notify
 		if fn != nil {
-			fn(Update{Index: i, Name: jobs[i].Name, Status: st, Err: err, Report: rep})
+			fn(Update{Index: i, Name: jobs[i].Name, Status: st, Attempt: attempt, Err: err, Report: rep})
 		}
 		mu.Unlock()
 	}
@@ -256,7 +407,11 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				s.runJob(ctx, i, jobs[i], deadline, transition)
+				i := i
+				executeJob(ctx, &s.opts, jobs[i], deadline,
+					func(st Status, attempt int, rep *runner.Report, err error) {
+						transition(i, st, attempt, rep, err)
+					})
 			}
 		}()
 	}
@@ -270,7 +425,7 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 			queued := results[i].Status == Queued
 			mu.Unlock()
 			if queued {
-				transition(i, Cancelled, nil, nil)
+				transition(i, Cancelled, 0, nil, nil)
 			}
 		}
 		return results, fmt.Errorf("sched: batch cancelled: %w", err)
@@ -278,20 +433,64 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	return results, nil
 }
 
-// runJob executes one job on the calling worker goroutine.
-func (s *Scheduler) runJob(ctx context.Context, i int, job Job, deadline time.Time,
-	transition func(int, Status, *runner.Report, error)) {
+// executeJob runs one job on the calling worker goroutine: checkpoint
+// resume, the attempt, and the retry-with-backoff loop around it. It is
+// shared by the batch and stream layers; transition receives every status
+// change with the attempt it belongs to.
+func executeJob(ctx context.Context, o *options, job Job, deadline time.Time,
+	transition func(st Status, attempt int, rep *runner.Report, err error)) {
 	if ctx.Err() != nil {
-		transition(i, Cancelled, nil, nil)
+		transition(Cancelled, 0, nil, nil)
 		return
 	}
-	transition(i, Running, nil, nil)
-	solver, err := job.New()
+	for attempt := 1; ; attempt++ {
+		transition(Running, attempt, nil, nil)
+		rep, err := attemptJob(ctx, o, job, deadline)
+		switch {
+		case err == nil:
+			transition(Done, attempt, rep, nil)
+			return
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			transition(Cancelled, attempt, rep, err)
+			return
+		case attempt <= o.retries && runner.IsRetryable(err):
+			transition(Retrying, attempt, rep, err)
+			// Doubling backoff, cancellable: a job killed during its
+			// backoff reports Cancelled like one killed mid-run.
+			if !sleepCtx(ctx, retryDelay(o.backoff, attempt)) {
+				transition(Cancelled, attempt, nil,
+					fmt.Errorf("sched: job %q cancelled during retry backoff: %w", job.Name, ctx.Err()))
+				return
+			}
+		default:
+			transition(Failed, attempt, rep, err)
+			return
+		}
+	}
+}
+
+// attemptJob performs one attempt: build (or resume) the solver and drive
+// it with the job's options plus the scheduler's checkpoint and wall-clock
+// wiring.
+func attemptJob(ctx context.Context, o *options, job Job, deadline time.Time) (*runner.Report, error) {
+	solver, resumed, err := buildSolver(o, job)
 	if err != nil {
-		transition(i, Failed, nil, fmt.Errorf("sched: job %q: factory: %w", job.Name, err))
-		return
+		return nil, fmt.Errorf("sched: job %q: factory: %w", job.Name, err)
 	}
-	opts := job.Opts
+	if resumed && solver.Clock() >= job.Until {
+		// The newest snapshot is already at (or past) the target: the job
+		// finished before the kill and there is nothing left to run.
+		return &runner.Report{Clock: solver.Clock(), Reason: runner.ReasonUntil}, nil
+	}
+	// Append scheduler-level options to a copy so a retry (or a re-run of
+	// the same Job value) never sees the previous attempt's appends.
+	opts := job.Opts[:len(job.Opts):len(job.Opts)]
+	if o.ckptDir != "" {
+		opts = append(opts, runner.WithCheckpoint(jobCheckpointDir(o.ckptDir, job.Name), o.ckptEvery))
+		if o.ckptKeep > 0 {
+			opts = append(opts, runner.WithCheckpointKeep(o.ckptKeep))
+		}
+	}
 	if !deadline.IsZero() {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
@@ -300,15 +499,113 @@ func (s *Scheduler) runJob(ctx context.Context, i int, job Job, deadline time.Ti
 			// turns into exactly one step — fairness for the queue's tail.
 			remaining = time.Nanosecond
 		}
-		opts = append(opts[:len(opts):len(opts)], runner.WithWallClock(remaining))
+		opts = append(opts, runner.WithWallClock(remaining))
 	}
-	rep, err := runner.Run(ctx, solver, job.Until, opts...)
-	switch {
-	case err == nil:
-		transition(i, Done, rep, nil)
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		transition(i, Cancelled, rep, err)
-	default:
-		transition(i, Failed, rep, err)
+	return runner.Run(ctx, solver, job.Until, opts...)
+}
+
+// buildSolver resolves the job's solver: the newest restorable checkpoint
+// when resume is wired, the cold factory otherwise. Corrupt snapshots are
+// quarantined (renamed *.corrupt) so one bad file — a crash mid-rename, a
+// truncated disk — cannot wedge a job into failing every resume forever.
+// Quarantine is reserved for files that *read* but do not restore: a
+// snapshot that cannot even be read (the checkpoint volume briefly
+// unavailable) fails the attempt with a retryable error instead, so
+// transient I/O never sidelines valid snapshots or silently discards a
+// job's progress through a cold start.
+func buildSolver(o *options, job Job) (s runner.Solver, resumed bool, err error) {
+	if o.ckptDir != "" && job.Restore != nil {
+		ckpts, err := runner.ListCheckpoints(jobCheckpointDir(o.ckptDir, job.Name))
+		if err == nil {
+			for i := len(ckpts) - 1; i >= 0; i-- {
+				if err := probeReadable(ckpts[i]); err != nil {
+					return nil, false, runner.MarkRetryable(
+						fmt.Errorf("checkpoint %s unreadable: %w", ckpts[i], err))
+				}
+				s, rerr := job.Restore(ckpts[i])
+				if rerr == nil {
+					return s, true, nil
+				}
+				os.Rename(ckpts[i], ckpts[i]+".corrupt")
+			}
+		}
+	}
+	s, err = job.New()
+	return s, false, err
+}
+
+// probeReadable distinguishes "cannot read right now" (transient I/O, do
+// not quarantine) from "reads but does not decode" (corrupt, quarantine).
+func probeReadable(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.Read(b[:]); err != nil && err != io.EOF {
+		return err
+	}
+	return nil
+}
+
+// jobCheckpointDir derives the per-job checkpoint directory under root.
+func jobCheckpointDir(root, name string) string {
+	return filepath.Join(root, sanitizeJobName(name))
+}
+
+// sanitizeJobName maps a job name to a safe single path element: anything
+// outside [A-Za-z0-9._-] becomes '_', and an empty name becomes "job".
+func sanitizeJobName(name string) string {
+	if name == "" {
+		return "job"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+// maxRetryBackoff caps the doubling: past it every further retry waits the
+// same bounded interval instead of minutes-to-overflow.
+const maxRetryBackoff = time.Minute
+
+// retryDelay returns the backoff before retrying after the given 1-based
+// failed attempt: base doubled per prior failure, clamped to
+// maxRetryBackoff (the clamp also absorbs shift overflow at high attempt
+// counts — backoff must never collapse to a hot loop). A zero base stays
+// zero: an explicit no-delay policy.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 30 {
+		shift = 30
+	}
+	d := base << shift
+	if d <= 0 || d > maxRetryBackoff {
+		return maxRetryBackoff
+	}
+	return d
+}
+
+// sleepCtx sleeps for d unless ctx is cancelled first; it reports whether
+// the full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }

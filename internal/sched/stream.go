@@ -1,0 +1,280 @@
+// The stream layer: a long-lived, channel-fed scheduler over the same
+// worker pool and job executor as the batch layer. Where RunBatch takes a
+// fixed slice and returns when it is done, a Stream accepts Submit calls
+// for as long as it is open — the shape of a service that feeds simulation
+// work to a pool continuously, the ROADMAP's "scheduler job streams" item.
+package sched
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"vlasov6d/internal/runner"
+)
+
+// ErrStreamClosed is returned by Submit after Close.
+var ErrStreamClosed = errors.New("sched: stream closed")
+
+// Stream is a long-lived scheduler fed one Submit at a time. Construct
+// with NewStream; the worker pool starts immediately and dispatches from a
+// priority heap (higher Job.Priority first, submission order within a
+// priority).
+//
+// Lifecycle:
+//
+//   - Submit enqueues a job; it fails with ErrStreamClosed after Close and
+//     with the context error once the stream's context is cancelled.
+//   - Close stops intake. Workers drain everything already queued, then the
+//     Results channel closes — the graceful shutdown of a service.
+//   - Cancelling the context stops running jobs through the runner's own
+//     cancellation path, reports still-queued jobs Cancelled, and then
+//     closes Results — the fast shutdown. No goroutines are left behind in
+//     either case.
+//
+// Results must be consumed: workers deliver to the Results channel and
+// will block (a natural back-pressure) if nobody reads it. Retries,
+// per-job checkpoint directories and auto-resume follow the scheduler
+// options exactly as in the batch layer (see the package comment).
+type Stream struct {
+	opts options
+	ctx  context.Context
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending jobHeap
+	closed  bool
+	seq     int
+	// active holds the sanitised checkpoint keys of queued + running jobs
+	// (only under WithJobCheckpoints): two live jobs sharing a key would
+	// silently cross-resume, so Submit rejects the second. Re-submitting a
+	// key after its job finishes is allowed — that is the resume path.
+	active map[string]bool
+
+	notifyMu sync.Mutex
+
+	results chan Result
+	done    chan struct{} // closed after all workers exit and results closes
+}
+
+// streamJob is one queued submission: the job plus its submission sequence
+// number (the FIFO tiebreak within a priority and the Update index).
+type streamJob struct {
+	job Job
+	seq int
+}
+
+// jobHeap is a max-heap on Priority with FIFO order within a priority.
+type jobHeap []*streamJob
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].job.Priority != h[j].job.Priority {
+		return h[i].job.Priority > h[j].job.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*streamJob)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// NewStream starts a stream scheduler: `workers` goroutines (default
+// GOMAXPROCS) pulling from the priority queue until Close drains it or ctx
+// cancels it. The options are the same as RunBatch's; WithWallClock
+// anchors the shared budget at NewStream time.
+func NewStream(ctx context.Context, opts ...Option) (*Stream, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	workers := o.workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var deadline time.Time
+	if o.wall > 0 {
+		deadline = time.Now().Add(o.wall)
+	}
+	s := &Stream{
+		opts:    o,
+		ctx:     ctx,
+		results: make(chan Result),
+		done:    make(chan struct{}),
+	}
+	if o.ckptDir != "" {
+		s.active = make(map[string]bool)
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.work(deadline)
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(s.results)
+		close(s.done)
+	}()
+	// Cancellation must wake workers parked on the condvar. The watcher
+	// exits with the pool, so an uncancelled long-lived stream does not
+	// leak it past Close.
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		case <-s.done:
+		}
+	}()
+	return s, nil
+}
+
+// Submit enqueues a job for dispatch. It returns ErrStreamClosed after
+// Close, the context error once the stream's context is cancelled, and a
+// validation error for a job without a factory or (under
+// WithJobCheckpoints) a checkpoint key already queued or running. Safe for
+// concurrent use.
+func (s *Stream) Submit(job Job) error {
+	if job.New == nil {
+		return fmt.Errorf("sched: job %q has no solver factory", job.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStreamClosed
+	}
+	if err := s.ctx.Err(); err != nil {
+		return fmt.Errorf("sched: stream context cancelled: %w", err)
+	}
+	if s.active != nil {
+		key := sanitizeJobName(job.Name)
+		if s.active[key] {
+			return fmt.Errorf("sched: job %q: checkpoint key %q already queued or running", job.Name, key)
+		}
+		s.active[key] = true
+	}
+	heap.Push(&s.pending, &streamJob{job: job, seq: s.seq})
+	s.seq++
+	s.cond.Signal()
+	return nil
+}
+
+// Close stops intake. Already-queued jobs still run to completion (drain);
+// once the queue empties the workers exit and Results closes. Close is
+// idempotent and returns immediately — wait on Results for the drain.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Results returns the delivery channel: one Result per submitted job, in
+// completion order. It closes after Close (once the queue drains) or after
+// context cancellation (once queued jobs are flushed as Cancelled).
+func (s *Stream) Results() <-chan Result {
+	return s.results
+}
+
+// Pending returns the number of submitted jobs not yet picked up by a
+// worker — the queue depth a service monitors.
+func (s *Stream) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Submitted returns the number of jobs accepted by Submit so far.
+func (s *Stream) Submitted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// work is one pool goroutine: pop the highest-priority job, execute it
+// (with the shared retry/checkpoint executor), deliver its result; on
+// cancellation flush the remaining queue as Cancelled.
+func (s *Stream) work(deadline time.Time) {
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.closed && s.ctx.Err() == nil {
+			s.cond.Wait()
+		}
+		if s.ctx.Err() != nil {
+			// Fast shutdown: this worker flushes whatever is still queued
+			// (the first worker in grabs everything; the rest see an empty
+			// heap and exit).
+			flush := s.pending
+			s.pending = nil
+			s.mu.Unlock()
+			for _, sj := range flush {
+				s.releaseKey(sj.job.Name)
+				s.notify(Update{Index: sj.seq, Name: sj.job.Name, Status: Cancelled})
+				s.results <- Result{Name: sj.job.Name, Status: Cancelled}
+			}
+			return
+		}
+		if len(s.pending) == 0 { // closed and drained
+			s.mu.Unlock()
+			return
+		}
+		sj := heap.Pop(&s.pending).(*streamJob)
+		s.mu.Unlock()
+		s.runOne(sj, deadline)
+	}
+}
+
+// runOne executes one popped job and delivers its terminal result.
+func (s *Stream) runOne(sj *streamJob, deadline time.Time) {
+	executeJob(s.ctx, &s.opts, sj.job, deadline,
+		func(st Status, attempt int, rep *runner.Report, err error) {
+			s.notify(Update{Index: sj.seq, Name: sj.job.Name, Status: st,
+				Attempt: attempt, Err: err, Report: rep})
+			switch st {
+			case Done, Failed, Cancelled:
+				// Release the checkpoint key before delivery, so a consumer
+				// reacting to the result can immediately re-submit the job.
+				s.releaseKey(sj.job.Name)
+				s.results <- Result{Name: sj.job.Name, Status: st,
+					Attempt: attempt, Report: rep, Err: err}
+			}
+		})
+}
+
+// releaseKey frees a terminal job's checkpoint key for re-submission.
+func (s *Stream) releaseKey(name string) {
+	if s.active == nil {
+		return
+	}
+	s.mu.Lock()
+	delete(s.active, sanitizeJobName(name))
+	s.mu.Unlock()
+}
+
+// notify serialises the WithNotify callback across workers, matching the
+// batch layer's contract (the callback needs no locking of its own).
+func (s *Stream) notify(u Update) {
+	fn := s.opts.notify
+	if fn == nil {
+		return
+	}
+	s.notifyMu.Lock()
+	fn(u)
+	s.notifyMu.Unlock()
+}

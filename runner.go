@@ -5,15 +5,34 @@
 // call with uniform cancellation, wall-clock budgets, per-step observers
 // and checkpoint cadence. See internal/runner for the driver itself.
 //
-// On top of Run sit two concurrency layers:
+// Execution scales through three layers, each built on the one below:
 //
-//   - RunBatch / Scheduler (internal/sched) multiplex many Run calls —
-//     parameter sweeps, scheme comparisons, control runs — over a bounded
-//     worker pool with a shared context and a shared wall-clock budget.
-//   - WithAsyncObserver (internal/runner) moves diagnostics delivery and
-//     checkpoint I/O off the hot step loop onto a buffered pipeline with a
-//     selectable back-pressure policy, so the solver never blocks on a
-//     slow observer or a disk write.
+//   - Run drives one solver: one driver loop with cancellation, budgets,
+//     observers and a checkpoint cadence.
+//   - RunBatch / Scheduler (internal/sched) multiplex a fixed slice of
+//     named jobs — parameter sweeps, scheme comparisons, control runs —
+//     over a bounded worker pool with a shared context and a shared
+//     wall-clock budget, returning results in job order.
+//   - Stream (NewStream / Submit / Close / Results) is the long-lived
+//     form: a channel-fed scheduler that accepts jobs continuously,
+//     dispatches them by priority (higher first, FIFO within a priority),
+//     retries transient failures with doubling backoff, and drains
+//     gracefully on Close or context cancellation.
+//
+// Checkpoint-resume contract (batch and stream): WithJobCheckpoints(dir)
+// keys a private checkpoint directory under dir by each job's sanitised
+// Name and wires the runner's checkpoint cadence and retention into every
+// run. A job carrying a Restore hook auto-resumes from the newest snapshot
+// in its directory — killing a campaign and re-submitting the same job
+// names continues from the last checkpoints instead of recomputing. A
+// corrupt newest snapshot is quarantined (renamed *.corrupt) and the next
+// newest tried; a cold start through the factory is the last resort. The
+// job name is the resume key, so names must be unique per checkpoint root.
+//
+// Orthogonally, WithAsyncObserver (internal/runner) moves diagnostics
+// delivery and checkpoint I/O off the hot step loop onto a buffered
+// pipeline with a selectable back-pressure policy, so the solver never
+// blocks on a slow observer or a disk write.
 package vlasov6d
 
 import (
@@ -172,6 +191,7 @@ const (
 	JobDone      = sched.Done
 	JobFailed    = sched.Failed
 	JobCancelled = sched.Cancelled
+	JobRetrying  = sched.Retrying
 )
 
 // BatchOption configures a Scheduler or RunBatch call.
@@ -201,13 +221,60 @@ func WithBatchWallClock(budget time.Duration) BatchOption { return sched.WithWal
 // transitions — the hook progress displays hang off.
 func WithBatchNotify(fn func(BatchUpdate)) BatchOption { return sched.WithNotify(fn) }
 
+// WithBatchRetries allows each job up to n extra attempts after a failure
+// classified transient by IsRetryable (default 0: fail fast).
+func WithBatchRetries(n int) BatchOption { return sched.WithRetries(n) }
+
+// WithBatchRetryBackoff sets the delay before a job's first retry (default
+// 100 ms; doubling per further retry, cancellable).
+func WithBatchRetryBackoff(d time.Duration) BatchOption { return sched.WithRetryBackoff(d) }
+
+// WithJobCheckpoints gives every job a private checkpoint directory under
+// dir keyed by its sanitised name and wires checkpoint cadence + retention
+// into each run; jobs with a Restore hook auto-resume from their newest
+// snapshot. See the package comment for the full contract.
+func WithJobCheckpoints(dir string) BatchOption { return sched.WithJobCheckpoints(dir) }
+
+// WithJobCheckpointEvery sets the per-job checkpoint cadence in steps used
+// by WithJobCheckpoints (default 10).
+func WithJobCheckpointEvery(n int) BatchOption { return sched.WithJobCheckpointEvery(n) }
+
+// WithJobCheckpointKeep sets the per-job checkpoint retention used by
+// WithJobCheckpoints (default 3; 0 keeps everything).
+func WithJobCheckpointKeep(n int) BatchOption { return sched.WithJobCheckpointKeep(n) }
+
+// Stream is the long-lived, channel-fed scheduler: Submit jobs while
+// earlier ones run, dispatched by priority with retries and checkpoint
+// resume; see internal/sched for the full contract.
+type Stream = sched.Stream
+
+// ErrStreamClosed is returned by Stream.Submit after Close.
+var ErrStreamClosed = sched.ErrStreamClosed
+
+// NewStream starts a stream scheduler on a worker pool (default GOMAXPROCS
+// workers); Close it to drain, or cancel ctx to stop.
+func NewStream(ctx context.Context, opts ...BatchOption) (*Stream, error) {
+	return sched.NewStream(ctx, opts...)
+}
+
+// MarkRetryable marks err transient so the scheduler's retry policy will
+// re-run the failing job (see WithBatchRetries).
+func MarkRetryable(err error) error { return runner.MarkRetryable(err) }
+
+// IsRetryable reports whether err is marked transient (MarkRetryable, or
+// any error implementing `Retryable() bool`); cancellation never is.
+func IsRetryable(err error) bool { return runner.IsRetryable(err) }
+
 // Compile-time checks: every advertised workload drives through Run, and
-// the hybrid simulation supports the full checkpoint surface (snapshots,
-// async capture).
+// both the hybrid simulation and the plasma solver support the full
+// checkpoint surface (snapshots, async capture) — the latter is what makes
+// scheduler-level resume work for sweep campaigns.
 var (
 	_ Solver                    = (*Simulation)(nil)
 	_ Solver                    = (*PlasmaSolver)(nil)
 	_ runner.DTClamper          = (*Simulation)(nil)
 	_ runner.Checkpointer       = (*Simulation)(nil)
 	_ runner.CheckpointCapturer = (*Simulation)(nil)
+	_ runner.Checkpointer       = (*PlasmaSolver)(nil)
+	_ runner.CheckpointCapturer = (*PlasmaSolver)(nil)
 )

@@ -223,20 +223,62 @@ func TestRunNBodyControl(t *testing.T) {
 	}
 }
 
+// snapshotlessSolver implements Solver but not Checkpointer: the plasma
+// solver used to play this role until it gained checkpoint support.
+type snapshotlessSolver struct{ t float64 }
+
+func (s *snapshotlessSolver) Step(dt float64) error { s.t += dt; return nil }
+func (s *snapshotlessSolver) SuggestDT() float64    { return 0.1 }
+func (s *snapshotlessSolver) Clock() float64        { return s.t }
+func (s *snapshotlessSolver) Diagnostics() RunDiagnostics {
+	return RunDiagnostics{Clock: s.t, Time: s.t, Mass: 1}
+}
+
 // TestRunCheckpointNeedsSupport: asking the driver to checkpoint a solver
 // without snapshot support fails up front, before any stepping.
 func TestRunCheckpointNeedsSupport(t *testing.T) {
+	rep, err := Run(context.Background(), &snapshotlessSolver{}, 1.0, WithCheckpoint(t.TempDir(), 1))
+	if err == nil {
+		t.Fatal("checkpointing accepted for a solver without snapshot support")
+	}
+	if rep.Steps != 0 {
+		t.Fatalf("driver stepped %d times before rejecting", rep.Steps)
+	}
+}
+
+// TestRunPlasmaCheckpointRestore: the plasma solver checkpoints under the
+// driver's cadence and a snapshot restores to the exact state — the
+// capability scheduler-level sweep resume is built on.
+func TestRunPlasmaCheckpointRestore(t *testing.T) {
 	s, err := NewPlasmaSolver(32, 64, 4*math.Pi, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.LandauInit(0.01, 0.5, 1)
-	rep, err := Run(context.Background(), s, 1.0, WithCheckpoint(t.TempDir(), 1))
-	if err == nil {
-		t.Fatal("checkpointing accepted for the plasma solver")
+	dir := t.TempDir()
+	rep, err := Run(context.Background(), s, 1.0, WithFixedDT(0.05), WithCheckpoint(dir, 10))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if rep.Steps != 0 {
-		t.Fatalf("driver stepped %d times before rejecting", rep.Steps)
+	if len(rep.Checkpoints) != 2 { // steps 10 and 20
+		t.Fatalf("checkpoints %v", rep.Checkpoints)
+	}
+	f, err := os.Open(rep.Checkpoints[len(rep.Checkpoints)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := RestorePlasmaSolver(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time != s.Time {
+		t.Fatalf("restored clock %v, want %v", r.Time, s.Time)
+	}
+	for i := range s.F {
+		if r.F[i] != s.F[i] {
+			t.Fatalf("restored F differs at %d", i)
+		}
 	}
 }
 

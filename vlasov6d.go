@@ -51,6 +51,7 @@ package vlasov6d
 
 import (
 	"fmt"
+	"io"
 
 	"vlasov6d/internal/advect"
 	"vlasov6d/internal/analysis"
@@ -198,6 +199,14 @@ func NewPlasmaSolver(nx, nv int, boxL, vmax float64) (*PlasmaSolver, error) {
 // scheme-comparison sweeps turn.
 func NewPlasmaSolverWithScheme(nx, nv int, boxL, vmax float64, scheme string) (*PlasmaSolver, error) {
 	return plasma.NewWithScheme(nx, nv, boxL, vmax, scheme)
+}
+
+// RestorePlasmaSolver rebuilds a 1D1V solver from a checkpoint written by
+// its Checkpoint method (for example by Run under WithCheckpoint, or by a
+// scheduler under WithJobCheckpoints), verifying the checksum. The scheme,
+// grid and elapsed time are restored from the file.
+func RestorePlasmaSolver(r io.Reader) (*PlasmaSolver, error) {
+	return plasma.Restore(r)
 }
 
 // LandauDampingRate returns the kinetic-theory Landau damping rate γ for
