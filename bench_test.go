@@ -9,6 +9,7 @@
 package vlasov6d
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -412,6 +413,59 @@ func BenchmarkHybridStep(b *testing.B) {
 		if err := sim.Step(dt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBudgetedSweep runs the same multi-job Landau grid two ways —
+// oversubscribed (every job defaults to GOMAXPROCS intra-step workers, so
+// N concurrent jobs spawn N×GOMAXPROCS goroutines per sweep) and budgeted
+// (the scheduler's CoreBudget divides the machine among the live jobs, so
+// job-level × cell-level parallelism composes to GOMAXPROCS). Work is
+// identical in both modes; the delta is pure scheduling overhead, and the
+// budgeted mode must be no slower than the baseline it replaces.
+func BenchmarkBudgetedSweep(b *testing.B) {
+	const njobs = 4
+	newJobs := func() []BatchJob {
+		jobs := make([]BatchJob, njobs)
+		for i := range jobs {
+			jobs[i] = BatchJob{
+				Name:  fmt.Sprintf("landau-%d", i),
+				Until: 5,
+				New: func() (Solver, error) {
+					s, err := NewPlasmaSolverWithScheme(64, 128, 4*math.Pi, 8, "slmpp5")
+					if err != nil {
+						return nil, err
+					}
+					s.LandauInit(0.01, 0.5, 1)
+					return s, nil
+				},
+			}
+		}
+		return jobs
+	}
+	for _, mode := range []struct {
+		name string
+		opts []BatchOption
+	}{
+		{"oversubscribed", nil},
+		{"budgeted", []BatchOption{WithBatchCoreBudget(0)}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			ctx := context.Background()
+			opts := append([]BatchOption{WithBatchWorkers(njobs)}, mode.opts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := RunBatch(ctx, newJobs(), opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Status != JobDone {
+						b.Fatalf("job %s: %v (%v)", r.Name, r.Status, r.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -18,7 +18,13 @@
 // Example:
 //
 //	sweep -schemes slmpp5,mp5,upwind1 -res 32x64,64x128 -workers 4 \
-//	      -wall 2m -resume-dir /tmp/sweep-ckpts -retries 2
+//	      -budget 8 -wall 2m -resume-dir /tmp/sweep-ckpts -retries 2
+//
+// With -budget the scheduler owns intra-step parallelism: the given core
+// count is divided among the live jobs (floor one, remainder to the
+// higher-priority cells) and rebalanced as the queue drains, so job-level
+// and cell-level parallelism compose to the machine instead of
+// oversubscribing it N-fold.
 //
 // Job status transitions stream as they happen (running → done/failed,
 // with attempt counts and the queued depth), so a long sweep is observable
@@ -71,6 +77,7 @@ func main() {
 		alpha     = flag.Float64("alpha", 0.01, "perturbation amplitude")
 		until     = flag.Float64("until", 25, "integration time ω_p·t")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		budget    = flag.Int("budget", 0, "CPU core budget divided among live jobs, rebalanced as the queue drains; 0 disables (every job then runs GOMAXPROCS intra-step workers and an N-job pool oversubscribes the machine N-fold). -budget with the machine's core count is the paper's fixed-partition accounting.")
 		wall      = flag.Duration("wall", 0, "shared wall-clock budget for the whole sweep (0 = unlimited)")
 		resumeDir = flag.String("resume-dir", "", "per-job checkpoint root; a re-invoked sweep resumes each job from its newest snapshot")
 		retries   = flag.Int("retries", 0, "extra attempts per job after a transient (retryable) failure")
@@ -125,6 +132,9 @@ func main() {
 	}
 	if *workers > 0 {
 		streamOpts = append(streamOpts, vlasov6d.WithBatchWorkers(*workers))
+	}
+	if *budget > 0 {
+		streamOpts = append(streamOpts, vlasov6d.WithBatchCoreBudget(*budget))
 	}
 	if *wall > 0 {
 		streamOpts = append(streamOpts, vlasov6d.WithBatchWallClock(*wall))

@@ -4,13 +4,24 @@
 // never decomposed), and position drifts exchange three ghost planes per
 // axis. The run verifies bit-faithful agreement with the serial solver and
 // reports the communication volume actually exchanged.
+//
+// Threading follows the paper's fixed-partition accounting (Table 2's
+// Nodes × ProcsPerNode grid with a fixed thread count per process) through
+// a CoreBudget: the serial reference leases the whole machine while it is
+// the only live work, then the four ranks lease the same budget
+// concurrently and split it — process-level and thread-level parallelism
+// composing to the machine size instead of each rank assuming it owns all
+// of GOMAXPROCS. The worker count never changes the physics (lines are
+// independent), so the bit-faithfulness check also covers the budget path.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
+	"vlasov6d"
 	"vlasov6d/internal/decomp"
 	"vlasov6d/internal/mpisim"
 	"vlasov6d/internal/phase"
@@ -34,24 +45,45 @@ func fill(g *phase.Grid, ox, oy float64) {
 
 func main() {
 	log.SetFlags(0)
-	// Serial reference.
+	ctx := context.Background()
+	// One CPU budget for the whole process, GOMAXPROCS cores: every phase
+	// of the demo leases its threads from it instead of assuming it owns
+	// the machine.
+	budget := vlasov6d.NewCoreBudget(0)
+
+	// Serial reference: the only live lease, so it holds every core.
 	gs, err := phase.New(nGlob, nGlob, nGlob, [3]int{nu, nu, nu},
 		[3]float64{boxL, boxL, boxL}, umax)
 	if err != nil {
 		log.Fatal(err)
 	}
+	serialLease, err := budget.Acquire(ctx, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	serialWorkers := serialLease.Workers()
+	gs.SetWorkers(serialWorkers)
 	fill(gs, 0, 0)
 	vs, err := vlasov.New(gs, "slmpp5")
 	if err != nil {
 		log.Fatal(err)
 	}
-	vs.SetWorkers(1)
+	vs.SetWorkers(serialWorkers)
 	if err := vs.Drift(dtStep, 1.0); err != nil {
 		log.Fatal(err)
 	}
 	ref := gs.ComputeMoments()
+	serialLease.Release()
 
-	// Distributed run: 4 ranks on a 2×2×1 process grid.
+	// Distributed run: 4 ranks on a 2×2×1 process grid splitting the cores
+	// the serial phase just returned. The rank leases are acquired as one
+	// atomic group (AcquireAll): ranks synchronise with each other inside
+	// the drift's ghost exchange, so none of them may start computing —
+	// let alone block a neighbour — before every rank holds its share.
+	rankLeases, err := budget.AcquireAll(ctx, 4, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	world, err := mpisim.NewWorld(4)
 	if err != nil {
 		log.Fatal(err)
@@ -62,12 +94,17 @@ func main() {
 	}
 	var rho []float64
 	var mass float64
+	rankWorkers := make([]int, 4)
 	err = world.Run(func(c *mpisim.Comm) error {
+		lease := rankLeases[c.Rank()]
+		defer lease.Release()
 		b, err := decomp.NewBlock(c, cart, [3]int{nGlob, nGlob, nGlob},
 			[3]int{nu, nu, nu}, [3]float64{boxL, boxL, boxL}, umax)
 		if err != nil {
 			return err
 		}
+		rankWorkers[c.Rank()] = lease.Workers()
+		b.G.SetWorkers(lease.Workers())
 		fill(b.G, float64(b.GlobalOrigin(0))*b.G.DX(0), float64(b.GlobalOrigin(1))*b.G.DX(1))
 		if err := b.Drift(dtStep, 1.0); err != nil {
 			return err
@@ -100,6 +137,8 @@ func main() {
 	}
 	mean /= float64(len(rho))
 	fmt.Printf("distributed Vlasov drift on 4 ranks (2×2×1), %d³ cells × %d³ velocities\n", nGlob, nu)
+	fmt.Printf("  core budget            : %d cores; serial phase leased %d, rank shares %v\n",
+		budget.Total(), serialWorkers, rankWorkers)
 	fmt.Printf("  global mass            : %.6e (serial %.6e)\n", mass, gs.TotalMass())
 	fmt.Printf("  worst density mismatch : %.3e of mean %.3e (%.1e relative)\n",
 		worst, mean, worst/mean)

@@ -3,6 +3,7 @@ package vlasov6d
 import (
 	"context"
 	"math"
+	"runtime"
 	"testing"
 
 	"vlasov6d/internal/analysis"
@@ -57,5 +58,61 @@ func TestGoldenLandauDampingRate(t *testing.T) {
 					scheme, gamma, theory, 100*relErr)
 			}
 		})
+	}
+}
+
+// TestGoldenLandauBudgetedDeterminism gates the CPU-budget layer's physics
+// contract: the worker count must never change the physics. The golden
+// Landau case is run once with its default GOMAXPROCS workers and once
+// pinned to a single core through a worker-budget lease, and the two fitted
+// damping rates must be IDENTICAL — not merely close — because every sweep
+// line is computed by the same floating-point operations regardless of how
+// many goroutines share them. Any divergence means the budget plumbing
+// leaked into the numerics.
+func TestGoldenLandauBudgetedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second physics run; the plain CI job covers it")
+	}
+	const (
+		k     = 0.5
+		alpha = 0.01
+		until = 25.0
+	)
+	run := func(opts ...RunOption) float64 {
+		t.Helper()
+		s, err := NewPlasmaSolverWithScheme(64, 256, 2*math.Pi/k, 8, "slmpp5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.LandauInit(alpha, k, 1)
+		var fit analysis.DecayFit
+		opts = append(opts, WithObserver(func(step int, sv Solver) error {
+			d := sv.Diagnostics()
+			fit.Add(d.Time, d.Extra["field_energy"])
+			return nil
+		}))
+		rep, err := Run(context.Background(), s, until, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Reason != ReasonUntil {
+			t.Fatalf("stop reason %v", rep.Reason)
+		}
+		if fit.Peaks() < 3 {
+			t.Fatalf("only %d field-energy peaks: no trustworthy fit", fit.Peaks())
+		}
+		return fit.Gamma()
+	}
+	base := run() // GOMAXPROCS intra-step workers, unbudgeted
+	budget := NewCoreBudget(1)
+	lease, err := budget.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+	budgeted := run(WithWorkerBudget(lease)) // pinned to one core
+	if budgeted != base {
+		t.Fatalf("budgeted γ = %v != GOMAXPROCS(%d) γ = %v: the worker count changed the physics",
+			budgeted, runtime.GOMAXPROCS(0), base)
 	}
 }

@@ -201,6 +201,34 @@ type Simulation struct {
 	uT        float64
 	gen       *ic.Generator
 	primed    bool // forces valid for the current state
+	// workers pins the intra-step parallelism of every component (0 =
+	// each component's GOMAXPROCS default); set through SetWorkers.
+	workers int
+}
+
+// SetWorkers pins the intra-step worker count of every parallel component —
+// the Vlasov sweeps, the phase-grid moment reductions, the PM FFTs and the
+// per-step tree walks — implementing runner.WorkerBudgeted so a
+// scheduler-owned core budget can resize a running hybrid simulation
+// between steps (minimum 1). All component decompositions are over
+// independent lines, cells or particle ranges, so the worker count never
+// changes the computed physics. (The Vlasov boundary-loss *diagnostic*
+// accumulates across workers in scheduling order and may differ in final
+// bits; the evolved state does not.)
+func (s *Simulation) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+	if s.VSol != nil {
+		s.VSol.SetWorkers(n)
+	}
+	if s.Grid != nil {
+		s.Grid.SetWorkers(n)
+	}
+	if s.PM != nil {
+		s.PM.SetWorkers(n)
+	}
 }
 
 // New builds a simulation and generates initial conditions at scale factor
@@ -319,6 +347,12 @@ func (s *Simulation) installGrid(g *phase.Grid) error {
 	}
 	s.Grid = g
 	s.VSol = vs
+	if s.workers > 0 {
+		// A pinned worker count survives component (re)installation, e.g. a
+		// checkpoint restore into an already-budgeted simulation.
+		vs.SetWorkers(s.workers)
+		g.SetWorkers(s.workers)
+	}
 	ncell := g.NCells()
 	for d := 0; d < 3; d++ {
 		s.accCell[d] = make([]float64, ncell)
@@ -432,6 +466,9 @@ func (s *Simulation) computeForces() error {
 		})
 		if err != nil {
 			return err
+		}
+		if s.workers > 0 {
+			tr.SetWorkers(s.workers)
 		}
 		var short [3][]float64
 		for d := 0; d < 3; d++ {

@@ -30,6 +30,22 @@ type Grid struct {
 	// Data holds f(x, u) in row-major order
 	// (((ix·NY+iy)·NZ+iz)·NU0+jx)·NU1+jy)·NU2+jz.
 	Data []float32
+
+	// workers pins the ParallelCells worker count (0 = GOMAXPROCS at call
+	// time, the historical default); set through SetWorkers.
+	workers int
+}
+
+// SetWorkers pins the number of goroutines ParallelCells (and everything
+// built on it: Fill, ComputeMoments, the moment maps) parallelises over
+// (minimum 1). Without it the reductions read GOMAXPROCS at call time,
+// invisible to any scheduler-owned core budget. Cells are disjoint, so the
+// worker count never changes the computed values.
+func (g *Grid) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.workers = n
 }
 
 // New allocates a phase-space grid. All extents must be positive and the
@@ -138,10 +154,14 @@ func (g *Grid) Fill(f func(x, y, z, ux, uy, uz float64) float64) {
 	})
 }
 
-// ParallelCells runs fn over every spatial cell using all CPUs.
+// ParallelCells runs fn over every spatial cell, using all CPUs unless
+// SetWorkers pinned the count.
 func (g *Grid) ParallelCells(fn func(ix, iy, iz int)) {
 	ncell := g.NCells()
-	nw := runtime.GOMAXPROCS(0)
+	nw := g.workers
+	if nw == 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
 	if nw > ncell {
 		nw = ncell
 	}

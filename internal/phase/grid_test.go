@@ -239,3 +239,39 @@ func TestDispersionTensorCorrelated(t *testing.T) {
 		t.Fatalf("tensor trace %v vs scalar σ %v", math.Sqrt(tr), m.Sigma[0])
 	}
 }
+
+// TestParallelCellsWorkerInvariance: moments and fills are identical for
+// any pinned worker count (cells are disjoint), so a core budget resizing
+// the reductions never changes results.
+func TestParallelCellsWorkerInvariance(t *testing.T) {
+	build := func(workers int) *Grid {
+		g := smallGrid(t)
+		g.SetWorkers(workers)
+		g.Fill(func(x, y, z, ux, uy, uz float64) float64 {
+			return 1 + 0.1*math.Sin(x+ux)*math.Cos(y-uy) + 0.01*z*uz
+		})
+		return g
+	}
+	g1 := build(1)
+	g3 := build(3)
+	for i := range g1.Data {
+		if g1.Data[i] != g3.Data[i] {
+			t.Fatalf("Data[%d]: 1-worker %v != 3-worker %v", i, g1.Data[i], g3.Data[i])
+		}
+	}
+	m1 := g1.ComputeMoments()
+	m3 := g3.ComputeMoments()
+	for i := range m1.Density {
+		if m1.Density[i] != m3.Density[i] || m1.Sigma[i] != m3.Sigma[i] {
+			t.Fatalf("moments differ at cell %d across worker counts", i)
+		}
+	}
+	// Clone carries the pinned count (a budgeted snapshot restores
+	// budgeted); a fresh grid stays on the GOMAXPROCS default.
+	if c := g1.Clone(); c.workers != 1 {
+		t.Fatalf("clone workers %d, want 1", c.workers)
+	}
+	if g := smallGrid(t); g.workers != 0 {
+		t.Fatalf("fresh grid workers %d, want 0 (GOMAXPROCS default)", g.workers)
+	}
+}

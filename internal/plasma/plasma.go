@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"runtime"
+	"sync"
 
 	"vlasov6d/internal/advect"
 	"vlasov6d/internal/fft"
@@ -44,6 +46,10 @@ type Solver struct {
 	rho    []float64
 	e      []float64
 	buf    []float64
+	// workers is the intra-step parallelism of the drift and kick sweeps
+	// (default GOMAXPROCS, pinned with SetWorkers). Lines are independent,
+	// so the worker count never changes the computed physics.
+	workers int
 }
 
 // New allocates a solver with the paper's SL-MPP5 advection. nx and nv
@@ -74,20 +80,96 @@ func NewWithScheme(nx, nv int, boxL, vmax float64, scheme string) (*Solver, erro
 	}
 	return &Solver{
 		NX: nx, NV: nv, L: boxL, VMax: vmax,
-		CFL:    0.4,
-		F:      make([]float64, nx*nv),
-		per:    per,
-		scheme: scheme,
-		open:   advect.NewSLMPP5(),
-		plan:   plan,
-		rho:    make([]float64, nx),
-		e:      make([]float64, nx),
-		buf:    make([]float64, nx),
+		CFL:     0.4,
+		F:       make([]float64, nx*nv),
+		per:     per,
+		scheme:  scheme,
+		open:    advect.NewSLMPP5(),
+		plan:    plan,
+		rho:     make([]float64, nx),
+		e:       make([]float64, nx),
+		buf:     make([]float64, nx),
+		workers: runtime.GOMAXPROCS(0),
 	}, nil
 }
 
 // Scheme returns the name of the periodic x-drift advection scheme.
 func (s *Solver) Scheme() string { return s.scheme }
+
+// SetWorkers pins the intra-step worker count of the drift and kick sweeps
+// (minimum 1), implementing runner.WorkerBudgeted so a scheduler-owned core
+// budget can resize a running solver between steps. Every sweep line is
+// independent and computed identically, so the state evolution is
+// bit-identical for any worker count — the budget trades only wall-clock.
+func (s *Solver) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// pworker carries per-goroutine sweep scratch: a gather buffer and private
+// scheme instances (schemes hold scratch state and are not safe for
+// concurrent use).
+type pworker struct {
+	line []float64
+	per  advect.Scheme
+	open *advect.SLMPP5
+}
+
+// parallelN distributes [0, n) over the solver's workers and returns the
+// first error a sweep reports (a failing worker abandons its range). The
+// serial path reuses the solver's own scratch (no per-step allocation);
+// parallel workers clone the schemes, exactly as the 6D solver does.
+func (s *Solver) parallelN(n int, fn func(w *pworker, i int) error) error {
+	nw := s.workers
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		w := pworker{line: s.buf, per: s.per, open: s.open}
+		for i := 0; i < n; i++ {
+			if err := fn(&w, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	chunk := (n + nw - 1) / nw
+	for k := 0; k < nw; k++ {
+		lo, hi := k*chunk, (k+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			w := pworker{
+				line: make([]float64, len(s.buf)),
+				per:  s.per.Clone(),
+				open: advect.NewSLMPP5(),
+			}
+			for i := lo; i < hi; i++ {
+				if err := fn(&w, i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return firstErr
+}
 
 // DX returns the spatial cell width.
 func (s *Solver) DX() float64 { return s.L / float64(s.NX) }
@@ -265,44 +347,43 @@ func (s *Solver) Diagnostics() runner.Diagnostics {
 }
 
 // drift advances ∂f/∂t + v ∂f/∂x = 0: for each velocity index the x-line is
-// periodic with CFL v·dt/Δx.
+// periodic with CFL v·dt/Δx. Lines (velocity indices) are independent and
+// sweep in parallel over the solver's workers.
 func (s *Solver) drift(dt float64) error {
 	dx := s.DX()
-	line := s.buf
-	for j := 0; j < s.NV; j++ {
+	return s.parallelN(s.NV, func(w *pworker, j int) error {
 		c := s.V(j) * dt / dx
 		if c == 0 {
-			continue
+			return nil
 		}
+		line := w.line[:s.NX]
 		for i := 0; i < s.NX; i++ {
 			line[i] = s.F[i*s.NV+j]
 		}
-		if err := s.per.Step(line[:s.NX], c); err != nil {
+		if err := w.per.Step(line, c); err != nil {
 			return err
 		}
 		for i := 0; i < s.NX; i++ {
 			s.F[i*s.NV+j] = line[i]
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // kick advances ∂f/∂t − E ∂f/∂v = 0: each spatial row is an open v-line with
-// CFL −E·dt/Δv.
+// CFL −E·dt/Δv. The field solve stays serial (one small FFT); the rows are
+// disjoint in-place slices and sweep in parallel.
 func (s *Solver) kick(dt float64) error {
 	e := s.ElectricField()
 	dv := s.DV()
-	for i := 0; i < s.NX; i++ {
+	return s.parallelN(s.NX, func(w *pworker, i int) error {
 		c := -e[i] * dt / dv
 		if c == 0 {
-			continue
+			return nil
 		}
 		row := s.F[i*s.NV : (i+1)*s.NV]
-		if err := s.open.StepOpen(row, c); err != nil {
-			return err
-		}
-	}
-	return nil
+		return w.open.StepOpen(row, c)
+	})
 }
 
 // LandauInit sets the standard Landau-damping initial condition

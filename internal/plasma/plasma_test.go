@@ -283,3 +283,58 @@ func TestSolverContractForRunner(t *testing.T) {
 		t.Fatalf("diagnostics %+v", d)
 	}
 }
+
+// TestWorkerCountInvariance: the worker count must never change the
+// physics. Lines are independent and computed identically, so the evolved
+// state is bit-identical for any SetWorkers setting — the property that
+// makes a scheduler-owned core budget free to resize a running solver.
+func TestWorkerCountInvariance(t *testing.T) {
+	build := func(workers int) *Solver {
+		s, err := New(32, 64, 4*math.Pi, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.LandauInit(0.05, 0.5, 1.0)
+		s.SetWorkers(workers)
+		return s
+	}
+	s1 := build(1)
+	s4 := build(4)
+	const dt = 0.05
+	for i := 0; i < 25; i++ {
+		if err := s1.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+		if err := s4.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+		// A mid-run resize between steps must be equally invisible.
+		if i == 12 {
+			s4.SetWorkers(3)
+		}
+	}
+	for i := range s1.F {
+		if s1.F[i] != s4.F[i] {
+			t.Fatalf("F[%d]: 1-worker %v != multi-worker %v — worker count changed the physics", i, s1.F[i], s4.F[i])
+		}
+	}
+	if s1.Time != s4.Time {
+		t.Fatalf("Time diverged: %v vs %v", s1.Time, s4.Time)
+	}
+}
+
+// TestSetWorkersFloor: the worker count floors at one.
+func TestSetWorkersFloor(t *testing.T) {
+	s, err := New(16, 16, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetWorkers(0)
+	if s.workers != 1 {
+		t.Fatalf("workers %d after SetWorkers(0), want 1", s.workers)
+	}
+	s.SetWorkers(-3)
+	if s.workers != 1 {
+		t.Fatalf("workers %d after SetWorkers(-3), want 1", s.workers)
+	}
+}

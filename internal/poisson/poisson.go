@@ -63,6 +63,10 @@ func NewSolver(n [3]int, box [3]float64) (*Solver, error) {
 // Size returns the number of mesh cells.
 func (s *Solver) Size() int { return s.N[0] * s.N[1] * s.N[2] }
 
+// SetWorkers pins the worker count of the underlying 3D FFTs (minimum 1),
+// so a scheduler-owned core budget bounds the PM solve's parallelism.
+func (s *Solver) SetWorkers(n int) { s.f3.SetWorkers(n) }
+
 // Solve computes the potential for the given source: ∇²φ = coeff·src.
 // src is a real field of length Size(); the result is written into phi
 // (allocated when nil) and returned. The mean of src is projected out, which

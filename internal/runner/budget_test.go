@@ -1,0 +1,106 @@
+package runner
+
+import (
+	"context"
+	"testing"
+)
+
+// resizeFake is a budgetable test solver recording every SetWorkers call
+// and the worker count in effect at each step.
+type resizeFake struct {
+	t, dt   float64
+	cur     int
+	sets    []int // SetWorkers calls, in order
+	perStep []int // worker count in effect when each step ran
+}
+
+func (f *resizeFake) SetWorkers(n int) { f.cur = n; f.sets = append(f.sets, n) }
+func (f *resizeFake) Step(dt float64) error {
+	f.perStep = append(f.perStep, f.cur)
+	f.t += dt
+	return nil
+}
+func (f *resizeFake) SuggestDT() float64 { return f.dt }
+func (f *resizeFake) Clock() float64     { return f.t }
+func (f *resizeFake) Diagnostics() Diagnostics {
+	return Diagnostics{Clock: f.t, Time: f.t, Mass: 1}
+}
+
+// scriptedLease returns a fixed share sequence, repeating the last value.
+type scriptedLease struct {
+	shares []int
+	calls  int
+}
+
+func (l *scriptedLease) Workers() int {
+	i := l.calls
+	l.calls++
+	if i >= len(l.shares) {
+		i = len(l.shares) - 1
+	}
+	return l.shares[i]
+}
+
+// TestWorkerBudgetResizesBetweenSteps: the lease is polled before every
+// step and SetWorkers fires only when the share changes — including before
+// the first step, so the solver never steps on its construction default.
+func TestWorkerBudgetResizesBetweenSteps(t *testing.T) {
+	f := &resizeFake{dt: 1, cur: 99} // 99 = "construction default", must never step
+	lease := &scriptedLease{shares: []int{2, 2, 3, 1}}
+	rep, err := Run(context.Background(), f, 4, WithWorkerBudget(lease))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps != 4 {
+		t.Fatalf("%d steps, want 4", rep.Steps)
+	}
+	wantSets := []int{2, 3, 1}
+	if len(f.sets) != len(wantSets) {
+		t.Fatalf("SetWorkers calls %v, want %v (resize only on change)", f.sets, wantSets)
+	}
+	for i := range wantSets {
+		if f.sets[i] != wantSets[i] {
+			t.Fatalf("SetWorkers calls %v, want %v", f.sets, wantSets)
+		}
+	}
+	wantPerStep := []int{2, 2, 3, 1}
+	for i := range wantPerStep {
+		if f.perStep[i] != wantPerStep[i] {
+			t.Fatalf("per-step workers %v, want %v", f.perStep, wantPerStep)
+		}
+	}
+	if lease.calls != 4 {
+		t.Fatalf("lease polled %d times, want once per step", lease.calls)
+	}
+}
+
+// TestWorkerBudgetUnbudgetedSolver: a solver without WorkerBudgeted runs
+// normally under a lease — unpinned, but with the lease still polled so the
+// allocator's accounting stays fresh.
+func TestWorkerBudgetUnbudgetedSolver(t *testing.T) {
+	f := &fake{dt: 1}
+	lease := &scriptedLease{shares: []int{2}}
+	rep, err := Run(context.Background(), f, 3, WithWorkerBudget(lease))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps != 3 {
+		t.Fatalf("%d steps, want 3", rep.Steps)
+	}
+	if lease.calls != 3 {
+		t.Fatalf("lease polled %d times, want once per step", lease.calls)
+	}
+}
+
+// TestWorkerBudgetZeroShareSkipped: a zero share (e.g. a released lease) is
+// never applied — the solver keeps its last positive worker count.
+func TestWorkerBudgetZeroShareSkipped(t *testing.T) {
+	f := &resizeFake{dt: 1, cur: 1}
+	lease := &scriptedLease{shares: []int{2, 0, 0}}
+	if _, err := Run(context.Background(), f, 3, WithWorkerBudget(lease)); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.sets) != 1 || f.sets[0] != 2 {
+		t.Fatalf("SetWorkers calls %v, want [2]: zero shares must not be applied", f.sets)
+	}
+}

@@ -91,6 +91,37 @@ type CheckpointPreflight interface {
 // step; returning a non-nil error aborts the run with that error.
 type Observer func(step int, s Solver) error
 
+// WorkerBudgeted is implemented by solvers whose intra-step parallelism can
+// be resized between steps. SetWorkers pins the number of workers the next
+// Step (and SuggestDT) may use; implementations must accept any call
+// ordering relative to Step and must never let the worker count change the
+// computed physics — parallel decomposition is over independent lines or
+// cells, so results stay bit-identical for any setting.
+type WorkerBudgeted interface {
+	SetWorkers(n int)
+}
+
+// WorkerLease is the runner's view of a scheduler-owned core lease (see
+// sched.CoreBudget for the allocator). Workers returns the share of cores
+// this run may use right now. The runner polls it once per loop iteration,
+// between steps — the moment the solver's intra-step workers are quiescent
+// — and implementations may use the call to commit share changes (shrink
+// immediately, grow as capacity frees).
+type WorkerLease interface {
+	Workers() int
+}
+
+// WithWorkerBudget ties the run's intra-step parallelism to a core lease:
+// before every step the runner polls lease.Workers() and, when the share
+// changed and the solver implements WorkerBudgeted, applies it with
+// SetWorkers — a mid-run rebalance (another job finishing, a new job
+// arriving) is observed by a running job between steps. A solver without
+// WorkerBudgeted runs unpinned; the poll still happens, keeping the lease's
+// accounting fresh. A nil lease leaves the option unset.
+func WithWorkerBudget(lease WorkerLease) Option {
+	return func(o *options) { o.lease = lease }
+}
+
 // StopReason records why Run returned without error.
 type StopReason int
 
@@ -148,6 +179,7 @@ type options struct {
 	ckptKeep   int
 	fixedDT    float64
 	fixedDTSet bool
+	lease      WorkerLease
 	async      bool
 	asyncObs   AsyncObserver
 	asyncOpts  asyncOptions
@@ -273,6 +305,15 @@ func Run(ctx context.Context, s Solver, until float64, opts ...Option) (*Report,
 		}
 	}
 
+	// Worker budget: resolved once; the lease is polled every iteration
+	// even when the solver cannot resize, because the poll is what commits
+	// this run's share changes back to the allocator.
+	var budgeted WorkerBudgeted
+	if o.lease != nil {
+		budgeted, _ = s.(WorkerBudgeted)
+	}
+	lastWorkers := 0
+
 	start := time.Now()
 	finish := func(err error) (*Report, error) {
 		if pipe != nil {
@@ -315,6 +356,17 @@ func Run(ctx context.Context, s Solver, until float64, opts ...Option) (*Report,
 		if o.wallClock > 0 && rep.Steps > 0 && time.Since(start) >= o.wallClock {
 			rep.Reason = ReasonWallClock
 			break
+		}
+		if o.lease != nil {
+			// Between steps: the solver's workers are quiescent, so a
+			// rebalanced share applies cleanly before SuggestDT and Step
+			// (both may parallelise).
+			if n := o.lease.Workers(); n > 0 && n != lastWorkers {
+				if budgeted != nil {
+					budgeted.SetWorkers(n)
+				}
+				lastWorkers = n
+			}
 		}
 		dt := o.fixedDT
 		if !o.fixedDTSet {

@@ -1,0 +1,273 @@
+// The CPU-budget layer: a core-lease allocator that lets job-level and
+// cell-level parallelism compose instead of compete. The paper's production
+// runs partition a fixed machine — Table 2's Nodes × ProcsPerNode grid with
+// a fixed thread count per process — whereas an unbudgeted scheduler pool
+// does the opposite: every job's solver defaults to GOMAXPROCS intra-step
+// workers, so an N-job batch oversubscribes the machine N-fold.
+//
+// A CoreBudget owns a fixed number of cores and divides them among the live
+// jobs: integer shares, floor one, remainder cores to the higher-priority
+// (then earlier-acquired) jobs. The division is a *target*; what a job may
+// actually use is its *held* share, and the two converge through a
+// claim/commit protocol designed so the held shares never sum past the
+// budget while the live-job count is within it:
+//
+//   - Acquire registers the job and blocks until it can claim cores: its
+//     target if free, otherwise whatever is free (at least one). Running
+//     jobs surrender cores only between steps, so the wait is bounded by
+//     one step of the slowest running job — provided every holder IS
+//     polled between steps, which runner.WithWorkerBudget guarantees.
+//     Hand-composed holders that never poll must not Acquire one at a
+//     time from a single goroutine (the first lease would hold the whole
+//     budget forever); they acquire their group atomically with
+//     AcquireAll.
+//   - Workers — polled by the runner between steps — commits changes:
+//     a shrunk target takes effect immediately (the job steps with fewer
+//     workers from now on, freeing cores for waiters), a grown target is
+//     claimed only as far as free capacity allows.
+//   - Release returns the job's cores and rebalances the rest.
+//
+// When the caller oversubscribes the budget itself — more live jobs than
+// cores — the floor-one guarantee wins: every job claims one core
+// immediately and the held sum is the live-job count, not the budget. That
+// regime only arises when the worker pool is sized past the budget; the
+// default pool (GOMAXPROCS workers) with the default budget (GOMAXPROCS
+// cores) never enters it.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// CoreBudget divides a fixed pool of CPU cores among live job leases. The
+// zero value is not usable; construct with NewCoreBudget. All methods are
+// safe for concurrent use.
+type CoreBudget struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	total  int
+	seq    int
+	leases []*Lease // live leases in acquisition order
+}
+
+// NewCoreBudget builds a budget of total cores (total ≤ 0 selects
+// GOMAXPROCS at construction time).
+func NewCoreBudget(total int) *CoreBudget {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	b := &CoreBudget{total: total}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Total returns the number of cores the budget divides.
+func (b *CoreBudget) Total() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Live returns the number of live (acquired, unreleased) leases.
+func (b *CoreBudget) Live() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.leases)
+}
+
+// Held returns the sum of currently claimed shares — the number of cores
+// live jobs may be using right now. While Live() ≤ Total() it never
+// exceeds Total().
+func (b *CoreBudget) Held() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.heldLocked()
+}
+
+// Acquire registers a live job with the given dispatch priority and blocks
+// until the lease holds at least one core (see the package comment for the
+// claim rules). It returns the context's error if ctx is cancelled while
+// waiting, with the registration undone. Acquire is the single-lease form
+// of AcquireAll: the grant and cancellation semantics are identical.
+func (b *CoreBudget) Acquire(ctx context.Context, priority int) (*Lease, error) {
+	leases, err := b.AcquireAll(ctx, 1, priority)
+	if err != nil {
+		return nil, err
+	}
+	return leases[0], nil
+}
+
+// AcquireAll registers n equal-priority leases in one atomic step and
+// blocks until every one of them holds at least one core. This is the
+// group form hand-composed process grids need (see examples/distributed):
+// n sequential Acquire calls from one goroutine would deadlock, because the
+// first lease claims the whole budget and — without a runner loop polling
+// Workers between steps — never surrenders it to the waiting second call.
+// Registering the group atomically divides the budget across all n members
+// before anyone claims. Cancelling ctx while waiting undoes the whole
+// registration.
+func (b *CoreBudget) AcquireAll(ctx context.Context, n, priority int) ([]*Lease, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sched: group acquire of %d leases", n)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	leases := make([]*Lease, n)
+	for i := range leases {
+		leases[i] = &Lease{b: b, priority: priority, seq: b.seq}
+		b.seq++
+		b.leases = append(b.leases, leases[i])
+	}
+	b.rebalanceLocked()
+	// A cancelled context must wake the condvar wait below; AfterFunc is
+	// unregistered on return so an uncancelled acquire leaks nothing.
+	stop := context.AfterFunc(ctx, func() {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	})
+	defer stop()
+	for {
+		if err := ctx.Err(); err != nil {
+			for _, l := range leases {
+				l.released = true
+				b.removeLocked(l)
+			}
+			return nil, err
+		}
+		if len(b.leases) > b.total {
+			// Caller-oversubscribed regime: floor one each, immediately.
+			for _, l := range leases {
+				l.held = 1
+			}
+			return leases, nil
+		}
+		if free := b.total - b.heldLocked(); free >= n {
+			// Enough for a core each: grant targets, capped so every later
+			// member of the group still gets at least one.
+			for i, l := range leases {
+				rest := n - i - 1
+				grant := l.target
+				if grant > free-rest {
+					grant = free - rest
+				}
+				l.held = grant
+				free -= grant
+			}
+			return leases, nil
+		}
+		b.cond.Wait()
+	}
+}
+
+// heldLocked sums the claimed shares. Callers hold b.mu.
+func (b *CoreBudget) heldLocked() int {
+	sum := 0
+	for _, l := range b.leases {
+		sum += l.held
+	}
+	return sum
+}
+
+// removeLocked unregisters a lease and redivides the budget among the rest.
+// Callers hold b.mu.
+func (b *CoreBudget) removeLocked(l *Lease) {
+	for i, cur := range b.leases {
+		if cur == l {
+			b.leases = append(b.leases[:i], b.leases[i+1:]...)
+			break
+		}
+	}
+	b.rebalanceLocked()
+}
+
+// rebalanceLocked recomputes every live lease's target share: total/n each,
+// floor one, with the total%n remainder cores granted one each to the
+// higher-priority (then earlier-acquired) leases. Targets take effect as
+// jobs poll Workers between steps. Callers hold b.mu.
+func (b *CoreBudget) rebalanceLocked() {
+	n := len(b.leases)
+	if n == 0 {
+		b.cond.Broadcast()
+		return
+	}
+	base := b.total / n
+	rem := b.total % n
+	if base < 1 {
+		base, rem = 1, 0
+	}
+	order := append([]*Lease(nil), b.leases...)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].priority != order[j].priority {
+			return order[i].priority > order[j].priority
+		}
+		return order[i].seq < order[j].seq
+	})
+	for i, l := range order {
+		l.target = base
+		if i < rem {
+			l.target++
+		}
+	}
+	// Shrunk targets free cores only when their holders next poll, but
+	// waiters must also re-check after, e.g., a release changed the regime.
+	b.cond.Broadcast()
+}
+
+// Lease is one live job's share of a CoreBudget. It implements
+// runner.WorkerLease: the runner polls Workers between steps and applies
+// the share to solvers implementing runner.WorkerBudgeted.
+type Lease struct {
+	b        *CoreBudget
+	priority int
+	seq      int
+	target   int // allocator's goal share, set by rebalance
+	held     int // claimed share — what Workers reports
+	released bool
+}
+
+// Workers returns the lease's current share, committing any pending
+// rebalance: a reduced target takes effect now (cores freed for other
+// jobs), an increased target is claimed as far as free capacity allows.
+// The runner calls this between steps, which is exactly when the job's
+// intra-step workers are quiescent and the share may change. A released
+// lease reports zero.
+func (l *Lease) Workers() int {
+	b := l.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if l.released {
+		return 0
+	}
+	if l.held > l.target {
+		l.held = l.target
+		b.cond.Broadcast()
+	} else if l.held < l.target {
+		if free := b.total - b.heldLocked(); free > 0 {
+			grow := l.target - l.held
+			if grow > free {
+				grow = free
+			}
+			l.held += grow
+		}
+	}
+	return l.held
+}
+
+// Release returns the lease's cores to the budget and rebalances the
+// remaining live jobs. Release is idempotent.
+func (l *Lease) Release() {
+	b := l.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if l.released {
+		return
+	}
+	l.released = true
+	l.held = 0
+	b.removeLocked(l)
+}

@@ -66,6 +66,17 @@
 // cold start through New. Job names must be unique after sanitisation —
 // the name *is* the resume key.
 //
+// CPU budgets (both layers): WithCoreBudget makes the scheduler the owner
+// of intra-step parallelism. A CoreBudget divides a fixed core count among
+// the live jobs (integer shares, floor one, remainder to higher-priority /
+// earlier jobs) and rebalances as the live set churns — jobs starting,
+// finishing, failing, retrying. Each job's share is plumbed into its Run
+// call as a runner.WithWorkerBudget lease that solvers implementing
+// runner.WorkerBudgeted observe between steps, so job-level and cell-level
+// parallelism compose to the machine size instead of multiplying past it.
+// See budget.go for the claim/commit protocol that keeps the held shares
+// within the budget while leases rebalance.
+//
 // Jobs combine freely with the runner's async observer pipeline
 // (runner.WithAsyncObserver in a job's Opts): each job then gets its own
 // bounded diagnostics/checkpoint queue with the back-pressure policy it
@@ -205,6 +216,8 @@ type options struct {
 	ckptEvery   int
 	ckptKeep    int
 	ckptKeepSet bool
+	budget      int
+	budgetSet   bool
 }
 
 // Option configures a Scheduler, a RunBatch call or a Stream.
@@ -246,6 +259,26 @@ func WithRetries(n int) Option {
 // context cancellation during backoff reports the job Cancelled.
 func WithRetryBackoff(d time.Duration) Option {
 	return func(o *options) { o.backoff = d }
+}
+
+// WithCoreBudget hands the scheduler ownership of intra-step parallelism: a
+// CoreBudget of total cores (0 = GOMAXPROCS) is divided among the live jobs
+// — integer shares, floor one, remainder to the higher-priority (then
+// earlier-started) jobs — and rebalanced as jobs start, finish, fail or
+// retry. Each job's share rides into its Run call as a
+// runner.WithWorkerBudget lease, so a solver implementing
+// runner.WorkerBudgeted resizes its intra-step worker pool between steps;
+// solvers without the capability run unpinned but still hold their share in
+// the accounting. A batch creates one budget per Run call; a stream creates
+// one for its whole lifetime, so the division tracks the continuously
+// churning live-job set. Without this option every job defaults to
+// GOMAXPROCS intra-step workers and an N-job pool oversubscribes the
+// machine N-fold.
+func WithCoreBudget(total int) Option {
+	return func(o *options) {
+		o.budget = total
+		o.budgetSet = true
+	}
 }
 
 // WithJobCheckpoints gives every job a private checkpoint directory
@@ -301,6 +334,9 @@ func buildOptions(opts []Option) (options, error) {
 	}
 	if o.ckptKeep < 0 {
 		return o, fmt.Errorf("sched: checkpoint retention %d must be non-negative", o.ckptKeep)
+	}
+	if o.budgetSet && o.budget < 0 {
+		return o, fmt.Errorf("sched: core budget %d must be non-negative (0 selects GOMAXPROCS)", o.budget)
 	}
 	return o, nil
 }
@@ -366,6 +402,12 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	if s.opts.wall > 0 {
 		deadline = time.Now().Add(s.opts.wall)
 	}
+	// One core budget per batch: the live-job set is this batch's running
+	// jobs, and the budget dies with the Run call.
+	var budget *CoreBudget
+	if s.opts.budgetSet {
+		budget = NewCoreBudget(s.opts.budget)
+	}
 
 	results := make([]Result, len(jobs))
 	for i, j := range jobs {
@@ -408,7 +450,7 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 			defer wg.Done()
 			for i := range idx {
 				i := i
-				executeJob(ctx, &s.opts, jobs[i], deadline,
+				executeJob(ctx, &s.opts, budget, jobs[i], deadline,
 					func(st Status, attempt int, rep *runner.Report, err error) {
 						transition(i, st, attempt, rep, err)
 					})
@@ -436,8 +478,11 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 // executeJob runs one job on the calling worker goroutine: checkpoint
 // resume, the attempt, and the retry-with-backoff loop around it. It is
 // shared by the batch and stream layers; transition receives every status
-// change with the attempt it belongs to.
-func executeJob(ctx context.Context, o *options, job Job, deadline time.Time,
+// change with the attempt it belongs to. A non-nil budget scopes each
+// attempt with a core lease: acquired before the solver is built, released
+// when the attempt ends, so a job backing off between retries holds no
+// cores.
+func executeJob(ctx context.Context, o *options, budget *CoreBudget, job Job, deadline time.Time,
 	transition func(st Status, attempt int, rep *runner.Report, err error)) {
 	if ctx.Err() != nil {
 		transition(Cancelled, 0, nil, nil)
@@ -445,7 +490,7 @@ func executeJob(ctx context.Context, o *options, job Job, deadline time.Time,
 	}
 	for attempt := 1; ; attempt++ {
 		transition(Running, attempt, nil, nil)
-		rep, err := attemptJob(ctx, o, job, deadline)
+		rep, err := attemptJob(ctx, o, budget, job, deadline)
 		switch {
 		case err == nil:
 			transition(Done, attempt, rep, nil)
@@ -470,9 +515,21 @@ func executeJob(ctx context.Context, o *options, job Job, deadline time.Time,
 }
 
 // attemptJob performs one attempt: build (or resume) the solver and drive
-// it with the job's options plus the scheduler's checkpoint and wall-clock
-// wiring.
-func attemptJob(ctx context.Context, o *options, job Job, deadline time.Time) (*runner.Report, error) {
+// it with the job's options plus the scheduler's checkpoint, core-lease and
+// wall-clock wiring.
+func attemptJob(ctx context.Context, o *options, budget *CoreBudget, job Job, deadline time.Time) (*runner.Report, error) {
+	var lease *Lease
+	if budget != nil {
+		// Acquire before the factory runs, so a heavy construction (IC
+		// generation) does not start until the job holds cores; the wait is
+		// cancellable and bounded by one step of a running job.
+		l, err := budget.Acquire(ctx, job.Priority)
+		if err != nil {
+			return nil, err
+		}
+		lease = l
+		defer lease.Release()
+	}
 	solver, resumed, err := buildSolver(o, job)
 	if err != nil {
 		return nil, fmt.Errorf("sched: job %q: factory: %w", job.Name, err)
@@ -485,6 +542,9 @@ func attemptJob(ctx context.Context, o *options, job Job, deadline time.Time) (*
 	// Append scheduler-level options to a copy so a retry (or a re-run of
 	// the same Job value) never sees the previous attempt's appends.
 	opts := job.Opts[:len(job.Opts):len(job.Opts)]
+	if lease != nil {
+		opts = append(opts, runner.WithWorkerBudget(lease))
+	}
 	if o.ckptDir != "" {
 		opts = append(opts, runner.WithCheckpoint(jobCheckpointDir(o.ckptDir, job.Name), o.ckptEvery))
 		if o.ckptKeep > 0 {

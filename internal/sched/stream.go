@@ -43,6 +43,10 @@ var ErrStreamClosed = errors.New("sched: stream closed")
 type Stream struct {
 	opts options
 	ctx  context.Context
+	// budget is the stream-lifetime core budget (nil without
+	// WithCoreBudget): the live-job set it divides over churns with every
+	// dispatch and completion.
+	budget *CoreBudget
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -114,6 +118,9 @@ func NewStream(ctx context.Context, opts ...Option) (*Stream, error) {
 	}
 	if o.ckptDir != "" {
 		s.active = make(map[string]bool)
+	}
+	if o.budgetSet {
+		s.budget = NewCoreBudget(o.budget)
 	}
 	s.cond = sync.NewCond(&s.mu)
 
@@ -242,7 +249,7 @@ func (s *Stream) work(deadline time.Time) {
 
 // runOne executes one popped job and delivers its terminal result.
 func (s *Stream) runOne(sj *streamJob, deadline time.Time) {
-	executeJob(s.ctx, &s.opts, sj.job, deadline,
+	executeJob(s.ctx, &s.opts, s.budget, sj.job, deadline,
 		func(st Status, attempt int, rep *runner.Report, err error) {
 			s.notify(Update{Index: sj.seq, Name: sj.job.Name, Status: st,
 				Attempt: attempt, Err: err, Report: rep})

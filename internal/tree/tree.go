@@ -84,6 +84,22 @@ type Tree struct {
 	px, py, pz []float64
 	rcut       float64
 	gtab       *gTable
+	// workers pins the AccelAll parallelism (0 = GOMAXPROCS at call time,
+	// the historical default). Set through SetWorkers so a scheduler-owned
+	// core budget can see — and bound — the walk's goroutines.
+	workers int
+}
+
+// SetWorkers pins the number of goroutines AccelAll parallelises the walk
+// over (minimum 1). Without it the walk reads GOMAXPROCS at call time,
+// which is invisible to any core budget. The worker count never changes
+// the computed accelerations: particles are partitioned into disjoint
+// ranges, each evaluated identically.
+func (t *Tree) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.workers = n
 }
 
 // Build constructs an octree over the particles.
@@ -314,7 +330,10 @@ func (t *Tree) AccelAll(acc [3][]float64) error {
 			return fmt.Errorf("tree: acc[%d] length %d != %d", d, len(acc[d]), t.p.N)
 		}
 	}
-	nw := runtime.GOMAXPROCS(0)
+	nw := t.workers
+	if nw == 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
 	var wg sync.WaitGroup
 	chunk := (t.p.N + nw - 1) / nw
 	for w := 0; w < nw; w++ {

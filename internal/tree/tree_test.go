@@ -277,3 +277,37 @@ func TestClusteredParticlesDeepTree(t *testing.T) {
 		}
 	}
 }
+
+// TestAccelAllWorkerInvariance: the parallel walk partitions particles into
+// disjoint ranges, so a pinned worker count returns bit-identical
+// accelerations — the property a scheduler-owned core budget relies on.
+func TestAccelAllWorkerInvariance(t *testing.T) {
+	p := randomParticles(t, 400, 100, 11)
+	tr, err := Build(p, Options{Theta: 0.5, RSplit: 5, Soft: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var def, one [3][]float64
+	for d := 0; d < 3; d++ {
+		def[d] = make([]float64, p.N)
+		one[d] = make([]float64, p.N)
+	}
+	if err := tr.AccelAll(def); err != nil { // GOMAXPROCS default
+		t.Fatal(err)
+	}
+	tr.SetWorkers(1)
+	if err := tr.AccelAll(one); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 3; d++ {
+		for i := 0; i < p.N; i++ {
+			if def[d][i] != one[d][i] {
+				t.Fatalf("acc[%d][%d]: default %v != pinned %v", d, i, def[d][i], one[d][i])
+			}
+		}
+	}
+	tr.SetWorkers(0)
+	if tr.workers != 1 {
+		t.Fatalf("workers %d after SetWorkers(0), want floor 1", tr.workers)
+	}
+}

@@ -69,6 +69,20 @@ type Solver struct {
 	phi   []float64
 	accP  [3][]float64 // per-particle interpolation scratch
 	Stats Stats
+	// workers pins the parallelism of the PM FFTs and of every tree built
+	// by Accel (0 = GOMAXPROCS at call time); set through SetWorkers.
+	workers int
+}
+
+// SetWorkers pins the intra-call worker count (minimum 1): the PM FFTs and
+// the parallel walk of every tree Accel builds, so a scheduler-owned core
+// budget bounds the whole force evaluation.
+func (s *Solver) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+	s.pm.SetWorkers(n)
 }
 
 // Stats records the per-part work of the last Accel call, feeding the
@@ -183,6 +197,9 @@ func (s *Solver) Accel(p *nbody.Particles, extraRho []float64, pmCoeff, shortSca
 	})
 	if err != nil {
 		return err
+	}
+	if s.workers > 0 {
+		tr.SetWorkers(s.workers)
 	}
 	var short [3][]float64
 	for d := 0; d < 3; d++ {

@@ -107,6 +107,35 @@ func WithCheckpointKeep(n int) RunOption { return runner.WithCheckpointKeep(n) }
 // clamped at the target).
 func WithFixedDT(dt float64) RunOption { return runner.WithFixedDT(dt) }
 
+// WorkerBudgeted is implemented by solvers whose intra-step parallelism can
+// be resized between steps (*Simulation and *PlasmaSolver both do; the
+// worker count never changes the computed physics, only wall-clock).
+type WorkerBudgeted = runner.WorkerBudgeted
+
+// WorkerLease supplies a run's current share of a CoreBudget; the runner
+// polls it between steps (see WithWorkerBudget).
+type WorkerLease = runner.WorkerLease
+
+// CoreBudget divides a fixed number of CPU cores among live jobs: integer
+// shares, floor one, remainder to higher-priority (then earlier) jobs,
+// rebalanced as jobs come and go. The scheduler layers create one
+// internally under WithBatchCoreBudget; NewCoreBudget is the standalone
+// form for composing parallel work by hand (see examples/distributed).
+type CoreBudget = sched.CoreBudget
+
+// CoreLease is one live job's share of a CoreBudget; it implements
+// WorkerLease.
+type CoreLease = sched.Lease
+
+// NewCoreBudget builds a core budget over total cores (0 = GOMAXPROCS).
+func NewCoreBudget(total int) *CoreBudget { return sched.NewCoreBudget(total) }
+
+// WithWorkerBudget ties a Run call's intra-step parallelism to a core
+// lease: the runner polls lease.Workers() between steps and applies changed
+// shares to solvers implementing WorkerBudgeted, so a mid-run rebalance is
+// observed by a running job at its next step boundary.
+func WithWorkerBudget(lease WorkerLease) RunOption { return runner.WithWorkerBudget(lease) }
+
 // AsyncRunObserver is the off-thread diagnostics callback of
 // WithAsyncObserver: it receives a value snapshot of the solver's
 // Diagnostics, never the live solver, so it can run concurrently with the
@@ -229,6 +258,14 @@ func WithBatchRetries(n int) BatchOption { return sched.WithRetries(n) }
 // 100 ms; doubling per further retry, cancellable).
 func WithBatchRetryBackoff(d time.Duration) BatchOption { return sched.WithRetryBackoff(d) }
 
+// WithBatchCoreBudget hands the scheduler (batch or stream) ownership of
+// intra-step parallelism: total cores (0 = GOMAXPROCS) are divided among
+// the live jobs and rebalanced as jobs start, finish, fail or retry, each
+// job's share plumbed into its Run call as a worker-budget lease. This is
+// what lets job-level and cell-level parallelism compose to the machine
+// size instead of multiplying past it (N jobs × GOMAXPROCS workers).
+func WithBatchCoreBudget(total int) BatchOption { return sched.WithCoreBudget(total) }
+
 // WithJobCheckpoints gives every job a private checkpoint directory under
 // dir keyed by its sanitised name and wires checkpoint cadence + retention
 // into each run; jobs with a Restore hook auto-resume from their newest
@@ -277,4 +314,7 @@ var (
 	_ runner.CheckpointCapturer = (*Simulation)(nil)
 	_ runner.Checkpointer       = (*PlasmaSolver)(nil)
 	_ runner.CheckpointCapturer = (*PlasmaSolver)(nil)
+	_ runner.WorkerBudgeted     = (*Simulation)(nil)
+	_ runner.WorkerBudgeted     = (*PlasmaSolver)(nil)
+	_ runner.WorkerLease        = (*CoreLease)(nil)
 )
