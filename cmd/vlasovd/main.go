@@ -1,0 +1,105 @@
+// Command vlasovd is the simulation daemon: the always-on form of the
+// repository's solver stack. It serves the HTTP control plane
+// (internal/serve) over a long-lived streaming scheduler, so every
+// scenario in the catalog — the plasma validation problems, the hybrid
+// Vlasov/N-body runs, the control baselines — becomes remotely
+// submittable as a JSON spec instead of a hand-launched binary.
+//
+//	vlasovd -addr :8080 -budget 8 -ckpt-dir /var/lib/vlasovd/ckpts
+//
+// Quickstart against a running daemon:
+//
+//	curl -s localhost:8080/v1/scenarios | jq .            # what can run
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	     -d '{"scenario":"landau","params":{"nx":64,"nv":128}}'
+//	curl -s localhost:8080/v1/jobs/0 | jq .               # poll status
+//	curl -N localhost:8080/v1/jobs/0/diagnostics          # live SSE
+//	curl -s localhost:8080/v1/jobs/0/checkpoints | jq .   # artifacts
+//	curl -s localhost:8080/metrics                        # counters
+//
+// SIGTERM/SIGINT starts the graceful drain: intake stops (submissions get
+// 503), queued and running jobs finish — checkpointing on their cadence —
+// until -drain expires, then the remainder is cancelled through the
+// scheduler and every result is flushed before exit. Re-starting the
+// daemon with the same -ckpt-dir resumes re-submitted jobs from their
+// newest snapshots: the kill-and-reinvoke contract, now over HTTP.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vlasov6d/internal/catalog"
+	"vlasov6d/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vlasovd: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers   = flag.Int("workers", 0, "scheduler worker pool size (0 = GOMAXPROCS)")
+		budget    = flag.Int("budget", 0, "CPU core budget divided among live jobs (0 = no budget; the machine's core count gives the paper's fixed-partition accounting)")
+		ckptDir   = flag.String("ckpt-dir", "", "per-job checkpoint root (empty disables checkpointing and resume)")
+		ckptEvery = flag.Int("ckpt-every", 25, "checkpoint cadence in steps (with -ckpt-dir)")
+		retries   = flag.Int("retries", 1, "default extra attempts per job after a transient failure (specs may override)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before running jobs are cancelled")
+	)
+	flag.Parse()
+
+	srv, err := serve.New(context.Background(), serve.Config{
+		Catalog:         catalog.Default(),
+		Workers:         *workers,
+		Budget:          *budget,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Retries:         *retries,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	log.Printf("listening on %s (budget %d cores, checkpoint dir %q)",
+		ln.Addr(), *budget, *ckptDir)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case s := <-sig:
+		log.Printf("%v: draining (budget %v)", s, *drain)
+	case err := <-errCh:
+		log.Fatalf("http server: %v", err)
+	}
+
+	// Graceful drain: scheduler first (stop intake, let work finish or
+	// checkpoint, flush results), then the HTTP listener — SSE watchers
+	// receive their terminal events before the sockets close.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain deadline hit, remaining jobs cancelled: %v", err)
+	} else {
+		log.Printf("drained clean")
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+}

@@ -1,0 +1,198 @@
+// Example client: the remote half of simulation-as-a-service. It talks to
+// a running vlasovd daemon over plain HTTP — no import of the simulation
+// code at all, which is the point: the scenario catalog and the JSON job
+// language make every workload submittable from anywhere.
+//
+// Start the daemon, then run the client:
+//
+//	go run ./cmd/vlasovd -addr :8080 &
+//	go run ./examples/client -addr http://localhost:8080
+//
+// The client submits a scheme × resolution grid of Landau-damping jobs
+// (the same campaign cmd/sweep runs in-process), tails the live SSE
+// diagnostics of one of them, polls until the whole grid is terminal, and
+// prints the final table plus the daemon's metrics.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+)
+
+type submitResp struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+}
+
+type jobStatus struct {
+	ID      int    `json:"id"`
+	Name    string `json:"name"`
+	Status  string `json:"status"`
+	Attempt int    `json:"attempt"`
+	Error   string `json:"error"`
+	Report  *struct {
+		Steps       int     `json:"steps"`
+		Clock       float64 `json:"clock"`
+		WallSeconds float64 `json:"wall_seconds"`
+		Reason      string  `json:"reason"`
+		Checkpoints int     `json:"checkpoints"`
+	} `json:"report"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("client: ")
+	var (
+		addr    = flag.String("addr", "http://localhost:8080", "vlasovd base URL")
+		schemes = flag.String("schemes", "slmpp5,mp5", "advection schemes to submit")
+		res     = flag.String("res", "16x32,32x64", "NXxNV resolutions to submit")
+		until   = flag.Float64("until", 10, "integration time ω_p·t")
+	)
+	flag.Parse()
+	base := strings.TrimRight(*addr, "/")
+
+	// Submit the grid: one JSON spec per scheme × resolution cell.
+	var ids []int
+	for _, sc := range strings.Split(*schemes, ",") {
+		for _, rs := range strings.Split(*res, ",") {
+			var nx, nv int
+			if _, err := fmt.Sscanf(strings.TrimSpace(rs), "%dx%d", &nx, &nv); err != nil {
+				log.Fatalf("resolution %q: %v", rs, err)
+			}
+			spec := map[string]any{
+				"scenario": "landau",
+				"params":   map[string]any{"scheme": strings.TrimSpace(sc), "nx": nx, "nv": nv},
+				"until":    *until,
+				// Small grids first, exactly like cmd/sweep.
+				"priority": -nx * nv,
+			}
+			body, _ := json.Marshal(spec)
+			resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+			if err != nil {
+				log.Fatalf("submit: %v", err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				log.Fatalf("submit %s@%s: %d %s", sc, rs, resp.StatusCode, raw)
+			}
+			var sub submitResp
+			if err := json.Unmarshal(raw, &sub); err != nil {
+				log.Fatalf("submit response: %v", err)
+			}
+			log.Printf("submitted #%d %s", sub.ID, sub.Name)
+			ids = append(ids, sub.ID)
+		}
+	}
+
+	// Tail the first job's live diagnostics over SSE while the grid runs.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tailDiagnostics(base, ids[0])
+	}()
+
+	// Poll the grid to completion.
+	final := make(map[int]jobStatus, len(ids))
+	for len(final) < len(ids) {
+		for _, id := range ids {
+			if _, ok := final[id]; ok {
+				continue
+			}
+			st, err := getStatus(base, id)
+			if err != nil {
+				log.Fatalf("poll #%d: %v", id, err)
+			}
+			switch st.Status {
+			case "done", "failed", "cancelled":
+				final[id] = st
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	<-done
+
+	fmt.Printf("\n%-28s %-10s %8s %10s %8s\n", "job", "status", "steps", "clock", "wall s")
+	for _, id := range ids {
+		st := final[id]
+		if st.Report == nil {
+			fmt.Printf("%-28s %-10s %8s %10s %8s  %s\n", st.Name, st.Status, "—", "—", "—", st.Error)
+			continue
+		}
+		fmt.Printf("%-28s %-10s %8d %10.3f %8.2f\n",
+			st.Name, st.Status, st.Report.Steps, st.Report.Clock, st.Report.WallSeconds)
+	}
+
+	// The daemon's counters after the campaign.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("\ndaemon metrics:\n%s", metrics)
+}
+
+// getStatus fetches one job's status document.
+func getStatus(base string, id int) (jobStatus, error) {
+	var st jobStatus
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", base, id))
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return st, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// tailDiagnostics streams one job's SSE diagnostics to the log until the
+// terminal "done" event, printing every ~20th step.
+func tailDiagnostics(base string, id int) {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d/diagnostics", base, id))
+	if err != nil {
+		log.Printf("diagnostics #%d: %v", id, err)
+		return
+	}
+	defer resp.Body.Close()
+	scanner := bufio.NewScanner(resp.Body)
+	var event string
+	lastPrinted := -20
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.HasPrefix(line, "event: ") {
+			event = strings.TrimPrefix(line, "event: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		data := strings.TrimPrefix(line, "data: ")
+		switch event {
+		case "diag":
+			var d struct {
+				Step        int     `json:"step"`
+				Clock       float64 `json:"clock"`
+				FieldEnergy float64 `json:"field_energy"`
+			}
+			if json.Unmarshal([]byte(data), &d) == nil && d.Step >= lastPrinted+20 {
+				log.Printf("#%d step %5d  t = %7.3f  E² = %.3e", id, d.Step, d.Clock, d.FieldEnergy)
+				lastPrinted = d.Step
+			}
+		case "status":
+			log.Printf("#%d %s", id, data)
+		case "done":
+			log.Printf("#%d terminal: %s", id, data)
+			return
+		}
+	}
+}

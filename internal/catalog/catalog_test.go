@@ -1,0 +1,194 @@
+package catalog
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vlasov6d/internal/runner"
+	"vlasov6d/internal/sched"
+)
+
+func TestDefaultCatalogLists(t *testing.T) {
+	c := Default()
+	scs := c.Scenarios()
+	want := []string{"landau", "twostream", "hybrid", "nbody", "shotnoise"}
+	if len(scs) != len(want) {
+		t.Fatalf("%d scenarios, want %d", len(scs), len(want))
+	}
+	for i, name := range want {
+		if scs[i].Name != name {
+			t.Errorf("scenario %d is %q, want %q", i, scs[i].Name, name)
+		}
+		if scs[i].Description == "" || scs[i].DefaultUntil <= 0 {
+			t.Errorf("scenario %q missing description or default target", scs[i].Name)
+		}
+	}
+	// The listing must be JSON-serialisable (the introspection endpoint).
+	if _, err := json.Marshal(scs); err != nil {
+		t.Fatalf("scenario listing does not marshal: %v", err)
+	}
+}
+
+func TestValidateDefaultsAndTypes(t *testing.T) {
+	c := Default()
+	vals, sc, err := c.Validate(JobSpec{Scenario: "landau"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "landau" {
+		t.Fatalf("resolved scenario %q", sc.Name)
+	}
+	if vals.Int("nx") != 32 || vals.Int("nv") != 64 || vals.Str("scheme") != "slmpp5" {
+		t.Fatalf("defaults not filled: %+v", vals)
+	}
+	// JSON numbers arrive as float64; an integral one coerces to int.
+	vals, _, err = c.Validate(JobSpec{Scenario: "landau",
+		Params: map[string]any{"nx": float64(64), "k": float64(0.25)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals.Int("nx") != 64 || vals.Float("k") != 0.25 {
+		t.Fatalf("explicit params not applied: %+v", vals)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	c := Default()
+	minusOne := -1
+	cases := []struct {
+		name string
+		spec JobSpec
+		frag string // expected error fragment
+	}{
+		{"unknown scenario", JobSpec{Scenario: "warpdrive"}, "unknown scenario"},
+		{"unknown param", JobSpec{Scenario: "landau", Params: map[string]any{"mass": 1.0}}, "no parameter"},
+		{"wrong type", JobSpec{Scenario: "landau", Params: map[string]any{"nx": "big"}}, "want int"},
+		{"fractional int", JobSpec{Scenario: "landau", Params: map[string]any{"nx": 32.5}}, "fractional"},
+		{"out of range", JobSpec{Scenario: "landau", Params: map[string]any{"nx": 4.0}}, "outside"},
+		{"bad enum", JobSpec{Scenario: "landau", Params: map[string]any{"scheme": "psychic"}}, "not one of"},
+		{"negative until", JobSpec{Scenario: "landau", Until: -1}, "until"},
+		{"negative steps", JobSpec{Scenario: "landau", MaxSteps: -1}, "max_steps"},
+		{"negative min workers", JobSpec{Scenario: "landau", MinWorkers: -1}, "worker bound"},
+		{"max below min workers", JobSpec{Scenario: "landau", MinWorkers: 3, MaxWorkers: 2}, "max_workers"},
+		{"negative retries", JobSpec{Scenario: "landau", Retries: &minusOne}, "retries"},
+		{"nnuside of one", JobSpec{Scenario: "shotnoise", Params: map[string]any{"nnuside": 1.0}}, "nnuside"},
+	}
+	for _, cse := range cases {
+		_, _, err := c.Validate(cse.spec)
+		if err == nil {
+			t.Errorf("%s: accepted", cse.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), cse.frag) {
+			t.Errorf("%s: error %q does not mention %q", cse.name, err, cse.frag)
+		}
+	}
+}
+
+func TestJobNameDerivation(t *testing.T) {
+	c := Default()
+	job, err := c.Job(JobSpec{Scenario: "landau"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Name != "landau" {
+		t.Fatalf("bare spec name %q", job.Name)
+	}
+	job, err = c.Job(JobSpec{Scenario: "landau",
+		Params: map[string]any{"nx": 64.0, "scheme": "mp5"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Name != "landau-nx=64-scheme=mp5" {
+		t.Fatalf("derived name %q", job.Name)
+	}
+	job, err = c.Job(JobSpec{Scenario: "landau", Name: "mine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Name != "mine" {
+		t.Fatalf("explicit name %q", job.Name)
+	}
+}
+
+func TestJobCarriesSpecOptions(t *testing.T) {
+	c := Default()
+	two := 2
+	job, err := c.Job(JobSpec{Scenario: "landau", Priority: 5, Retries: &two,
+		MinWorkers: 1, MaxWorkers: 3, Until: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Priority != 5 || job.MinWorkers != 1 || job.MaxWorkers != 3 || job.Until != 7 {
+		t.Fatalf("spec options lost: %+v", job)
+	}
+	if job.Retries == nil || *job.Retries != 2 {
+		t.Fatalf("retry override lost: %v", job.Retries)
+	}
+	if job.Restore == nil {
+		t.Fatal("landau job has no restore hook")
+	}
+}
+
+// TestEveryScenarioRunsThroughScheduler drives a tiny configuration of
+// every registered scenario through a real batch — the catalog's whole
+// point is that a JSON spec is runnable work.
+func TestEveryScenarioRunsThroughScheduler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds real solvers incl. small hybrid configs")
+	}
+	c := Default()
+	specs := []JobSpec{
+		{Scenario: "landau", Params: map[string]any{"nx": 16.0, "nv": 16.0}, Until: 0.5},
+		{Scenario: "twostream", Params: map[string]any{"nx": 16.0, "nv": 16.0}, Until: 0.5},
+		{Scenario: "hybrid", Until: 0.1, MaxSteps: 2},
+		{Scenario: "nbody", Until: 0.1, MaxSteps: 2},
+		{Scenario: "shotnoise", Until: 0.1, MaxSteps: 2},
+	}
+	var jobs []sched.Job
+	for _, spec := range specs {
+		job, err := c.Job(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Scenario, err)
+		}
+		jobs = append(jobs, job)
+	}
+	results, err := sched.RunBatch(context.Background(), jobs, sched.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Status != sched.Done {
+			t.Errorf("job %q: %v (%v)", r.Name, r.Status, r.Err)
+		}
+	}
+}
+
+// TestBudgetedConstruction verifies the catalog factory hands the lease's
+// share to the solver at build time.
+func TestBudgetedConstruction(t *testing.T) {
+	c := Default()
+	job, err := c.Job(JobSpec{Scenario: "landau", Until: 0.5,
+		Params: map[string]any{"nx": 16.0, "nv": 16.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fixed-share fake lease: the factory should construct with it.
+	s, err := job.NewBudgeted(fixedLease(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(runner.WorkerBudgeted); !ok {
+		t.Fatal("plasma solver lost WorkerBudgeted")
+	}
+	// And a nil lease must still build (unbudgeted stream).
+	if _, err := job.NewBudgeted(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type fixedLease int
+
+func (f fixedLease) Workers() int { return int(f) }

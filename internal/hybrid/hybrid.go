@@ -72,6 +72,13 @@ type Config struct {
 	// NNuSide is the neutrino particle count per side (paper: 2·N_CDM side,
 	// i.e. 8× the CDM count; default 2·NPartSide).
 	NNuSide int
+	// Workers pins the intra-step worker count from construction onwards
+	// (0 = each component's GOMAXPROCS default). Setting it makes the
+	// expensive parts of construction — the 6D grid fill and the particle
+	// displacement pass run through the phase grid and PM solver — respect
+	// a scheduler core lease instead of bursting to GOMAXPROCS before the
+	// first step; SetWorkers can still resize the simulation later.
+	Workers int
 }
 
 // ApplyDefaults fills every unset (zero-valued) optional field with the
@@ -160,6 +167,9 @@ func (c *Config) Validate() error {
 	}
 	if c.NuParticles && c.NNuSide < 2 {
 		return fmt.Errorf("hybrid: NNuSide = %d; need ≥ 2 neutrino particles per side", c.NNuSide)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("hybrid: Workers = %d; must be non-negative (zero selects GOMAXPROCS)", c.Workers)
 	}
 	return nil
 }
@@ -255,6 +265,7 @@ func build(cfg Config, aInit float64, fill bool) (*Simulation, error) {
 		return nil, err
 	}
 	s := &Simulation{Cfg: cfg, A: aInit, gen: gen}
+	s.workers = cfg.Workers // 0 = component defaults; applied as parts build
 	s.Time = cfg.Par.CosmicTime(aInit)
 	s.uT = gen.ThermalScale()
 
@@ -276,6 +287,9 @@ func build(cfg Config, aInit float64, fill bool) (*Simulation, error) {
 		return nil, err
 	}
 	s.PM = pm
+	if s.workers > 0 {
+		pm.SetWorkers(s.workers)
+	}
 	cell := cfg.Box / float64(nPM)
 	s.rs = 1.25 * cell
 	s.soft = cell / 20
@@ -306,6 +320,11 @@ func build(cfg Config, aInit float64, fill bool) (*Simulation, error) {
 			[3]float64{cfg.Box, cfg.Box, cfg.Box}, umax)
 		if err != nil {
 			return nil, err
+		}
+		if s.workers > 0 {
+			// The grid fill is the single most expensive part of
+			// construction; pin it before it runs, not after.
+			g.SetWorkers(s.workers)
 		}
 		if err := gen.FillNeutrinoGrid(g, aInit); err != nil {
 			return nil, err

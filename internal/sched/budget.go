@@ -94,7 +94,28 @@ func (b *CoreBudget) Held() int {
 // waiting, with the registration undone. Acquire is the single-lease form
 // of AcquireAll: the grant and cancellation semantics are identical.
 func (b *CoreBudget) Acquire(ctx context.Context, priority int) (*Lease, error) {
-	leases, err := b.AcquireAll(ctx, 1, priority)
+	return b.AcquireBounded(ctx, priority, 0, 0)
+}
+
+// AcquireBounded is Acquire with per-lease share bounds: the rebalancer
+// never targets this lease below min cores or above max cores (0 leaves the
+// bound unset). Bounds reshape the division, they do not reserve capacity:
+// a min larger than the equal share is met by shrinking the other live
+// leases' targets (they keep their floor of one), and a min is only
+// guaranteed while the budget can cover every live lease's floor — when it
+// cannot (mins summing past the budget, or more live jobs than cores) every
+// min degrades to the universal floor of one until the live set shrinks
+// enough to cover the mins again, so no single min-heavy lease can
+// monopolise the budget and stall later acquires. min is clamped to the
+// budget total; max must be 0 or ≥ max(min, 1).
+func (b *CoreBudget) AcquireBounded(ctx context.Context, priority, min, max int) (*Lease, error) {
+	if min < 0 || max < 0 {
+		return nil, fmt.Errorf("sched: negative worker bound min=%d max=%d", min, max)
+	}
+	if max > 0 && (max < min || max < 1) {
+		return nil, fmt.Errorf("sched: worker bound max=%d below min=%d", max, min)
+	}
+	leases, err := b.acquire(ctx, 1, priority, min, max)
 	if err != nil {
 		return nil, err
 	}
@@ -111,14 +132,25 @@ func (b *CoreBudget) Acquire(ctx context.Context, priority int) (*Lease, error) 
 // before anyone claims. Cancelling ctx while waiting undoes the whole
 // registration.
 func (b *CoreBudget) AcquireAll(ctx context.Context, n, priority int) ([]*Lease, error) {
+	return b.acquire(ctx, n, priority, 0, 0)
+}
+
+// acquire implements Acquire/AcquireBounded/AcquireAll: register, rebalance,
+// block until granted or cancelled.
+func (b *CoreBudget) acquire(ctx context.Context, n, priority, min, max int) ([]*Lease, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("sched: group acquire of %d leases", n)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if min > b.total {
+		// A floor the machine cannot supply degrades to the machine: the
+		// lease simply always holds every core it can get.
+		min = b.total
+	}
 	leases := make([]*Lease, n)
 	for i := range leases {
-		leases[i] = &Lease{b: b, priority: priority, seq: b.seq}
+		leases[i] = &Lease{b: b, priority: priority, seq: b.seq, min: min, max: max}
 		b.seq++
 		b.leases = append(b.leases, leases[i])
 	}
@@ -185,20 +217,23 @@ func (b *CoreBudget) removeLocked(l *Lease) {
 	b.rebalanceLocked()
 }
 
-// rebalanceLocked recomputes every live lease's target share: total/n each,
-// floor one, with the total%n remainder cores granted one each to the
-// higher-priority (then earlier-acquired) leases. Targets take effect as
-// jobs poll Workers between steps. Callers hold b.mu.
+// rebalanceLocked recomputes every live lease's target share by bounded
+// water-filling: each lease starts at its floor (max(1, min)), then the
+// remaining cores are granted one at a time to the lease with the lowest
+// current target that is still below its max, ties broken by priority
+// (higher first) then acquisition order. With no bounds set this reproduces
+// the original arithmetic exactly — total/n each, floor one, remainder to
+// the higher-priority (then earlier) leases — because water-filling from a
+// uniform floor is equal division. When the floors alone exceed the budget
+// the min bounds degrade to one (see below); only when the live jobs
+// themselves outnumber the cores does the sum overshoot — one core each,
+// the documented caller-oversubscribed regime. Targets take effect as jobs
+// poll Workers between steps. Callers hold b.mu.
 func (b *CoreBudget) rebalanceLocked() {
 	n := len(b.leases)
 	if n == 0 {
 		b.cond.Broadcast()
 		return
-	}
-	base := b.total / n
-	rem := b.total % n
-	if base < 1 {
-		base, rem = 1, 0
 	}
 	order := append([]*Lease(nil), b.leases...)
 	sort.SliceStable(order, func(i, j int) bool {
@@ -207,11 +242,43 @@ func (b *CoreBudget) rebalanceLocked() {
 		}
 		return order[i].seq < order[j].seq
 	})
-	for i, l := range order {
-		l.target = base
-		if i < rem {
-			l.target++
+	// When the floors alone cannot all be covered, min bounds degrade to
+	// the universal floor of one for this division — otherwise a single
+	// min-equal-to-budget lease would keep its full target and every
+	// later Acquire would block for that holder's whole run, breaking the
+	// one-step bounded-wait invariant. Mins come back the moment the live
+	// set shrinks enough to cover them again.
+	sumFloors := 0
+	for _, l := range order {
+		sumFloors += l.floor()
+	}
+	degradeMins := sumFloors > b.total
+	remaining := b.total
+	for _, l := range order {
+		if degradeMins {
+			l.target = 1
+		} else {
+			l.target = l.floor()
 		}
+		remaining -= l.target
+	}
+	// In the live-jobs-past-budget regime remaining is ≤ 0 and everyone
+	// stays at one core; otherwise water-fill the surplus.
+	for remaining > 0 {
+		var pick *Lease
+		for _, l := range order {
+			if l.max > 0 && l.target >= l.max {
+				continue
+			}
+			if pick == nil || l.target < pick.target {
+				pick = l // priority/seq order is the tiebreak: first lowest wins
+			}
+		}
+		if pick == nil {
+			break // every lease is capped; surplus cores stay idle
+		}
+		pick.target++
+		remaining--
 	}
 	// Shrunk targets free cores only when their holders next poll, but
 	// waiters must also re-check after, e.g., a release changed the regime.
@@ -225,9 +292,19 @@ type Lease struct {
 	b        *CoreBudget
 	priority int
 	seq      int
+	min, max int // per-lease share bounds (0 = unset); see AcquireBounded
 	target   int // allocator's goal share, set by rebalance
 	held     int // claimed share — what Workers reports
 	released bool
+}
+
+// floor is the smallest target the rebalancer may assign this lease: one
+// core, or the lease's min bound when set.
+func (l *Lease) floor() int {
+	if l.min > 1 {
+		return l.min
+	}
+	return 1
 }
 
 // Workers returns the lease's current share, committing any pending

@@ -1,0 +1,642 @@
+package sched
+
+// Tests for the control-plane surface of the scheduler: per-job status
+// snapshots, per-submission cancellation, bounded core shares and budgeted
+// construction — the hooks the HTTP service layer (internal/serve) is built
+// on. Everything here runs in milliseconds and under -race in CI.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vlasov6d/internal/runner"
+)
+
+// acquireBoundedPolled acquires a bounded lease while a background
+// goroutine polls the already-held leases' Workers() — the runner's
+// between-step poll, without which holders never commit shrunk shares and
+// a fresh Acquire would block forever (the documented contract).
+func acquireBoundedPolled(t *testing.T, b *CoreBudget, priority, min, max int, held ...*Lease) *Lease {
+	t.Helper()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, l := range held {
+					l.Workers()
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	l, err := b.AcquireBounded(context.Background(), priority, min, max)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestCoreBudgetBoundedSharesMax(t *testing.T) {
+	b := NewCoreBudget(8)
+	// A capped lease keeps only its max; the surplus water-fills the rest.
+	capped := acquireBoundedPolled(t, b, 0, 0, 1)
+	l1 := acquireBoundedPolled(t, b, 0, 0, 0, capped)
+	l2 := acquireBoundedPolled(t, b, 0, 0, 0, capped, l1)
+	all := []*Lease{capped, l1, l2}
+	settle(all)
+	// 7 cores left for two unbounded leases: 4 + 3 (earlier lease first).
+	if got := shares(all); got[0] != 1 || got[1] != 4 || got[2] != 3 {
+		t.Fatalf("settled shares %v, want [1 4 3]", got)
+	}
+	for _, l := range all {
+		l.Release()
+	}
+}
+
+func TestCoreBudgetBoundedSharesMin(t *testing.T) {
+	b := NewCoreBudget(8)
+	heavy := acquireBoundedPolled(t, b, 0, 6, 0)
+	l1 := acquireBoundedPolled(t, b, 0, 0, 0, heavy)
+	l2 := acquireBoundedPolled(t, b, 0, 0, 0, heavy, l1)
+	all := []*Lease{heavy, l1, l2}
+	settle(all)
+	// The min floor is met by shrinking the others to their floor of one.
+	if got := shares(all); got[0] != 6 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("settled shares %v, want [6 1 1]", got)
+	}
+	// Releasing the heavy job re-expands the small ones.
+	heavy.Release()
+	rest := []*Lease{l1, l2}
+	settle(rest)
+	if got := shares(rest); got[0] != 4 || got[1] != 4 {
+		t.Fatalf("shares after release %v, want [4 4]", got)
+	}
+	l1.Release()
+	l2.Release()
+}
+
+func TestCoreBudgetMinsDegradeWhenUncoverable(t *testing.T) {
+	// A min equal to the whole budget must not monopolise it: when a
+	// second lease arrives the floors (4+1) exceed the budget, the min
+	// degrades to the universal floor of one, and both jobs settle at an
+	// equal split within one polling round — the second acquire never
+	// blocks for the first job's whole run.
+	b := NewCoreBudget(4)
+	greedy := acquireBoundedPolled(t, b, 0, 4, 0)
+	other := acquireBoundedPolled(t, b, 0, 0, 0, greedy)
+	all := []*Lease{greedy, other}
+	settle(all)
+	if got := shares(all); got[0] != 2 || got[1] != 2 {
+		t.Fatalf("settled shares %v, want [2 2] (degraded min)", got)
+	}
+	// The min comes back when the live set shrinks enough to cover it.
+	other.Release()
+	settle(all[:1])
+	if w := greedy.Workers(); w != 4 {
+		t.Fatalf("solo share %d, want the min of 4 restored", w)
+	}
+	greedy.Release()
+}
+
+func TestCoreBudgetMinClampedToTotal(t *testing.T) {
+	b := NewCoreBudget(4)
+	l, err := b.AcquireBounded(context.Background(), 0, 99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	if w := l.Workers(); w != 4 {
+		t.Fatalf("over-min lease holds %d, want the whole budget 4", w)
+	}
+}
+
+func TestCoreBudgetBoundsValidation(t *testing.T) {
+	b := NewCoreBudget(4)
+	ctx := context.Background()
+	if _, err := b.AcquireBounded(ctx, 0, -1, 0); err == nil {
+		t.Fatal("negative min accepted")
+	}
+	if _, err := b.AcquireBounded(ctx, 0, 3, 2); err == nil {
+		t.Fatal("max below min accepted")
+	}
+	if b.Live() != 0 {
+		t.Fatalf("rejected acquires left %d live leases", b.Live())
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	mk := func() (runner.Solver, error) { return &fake{dt: 1}, nil }
+	mkB := func(runner.WorkerLease) (runner.Solver, error) { return &fake{dt: 1}, nil }
+	neg := -1
+	cases := []struct {
+		name string
+		job  Job
+		ok   bool
+	}{
+		{"no factory", Job{Name: "a"}, false},
+		{"both factories", Job{Name: "a", New: mk, NewBudgeted: mkB}, false},
+		{"budgeted only", Job{Name: "a", NewBudgeted: mkB}, true},
+		{"negative min", Job{Name: "a", New: mk, MinWorkers: -1}, false},
+		{"max below min", Job{Name: "a", New: mk, MinWorkers: 3, MaxWorkers: 2}, false},
+		{"negative retries", Job{Name: "a", New: mk, Retries: &neg}, false},
+		{"plain", Job{Name: "a", New: mk}, true},
+	}
+	for _, c := range cases {
+		if err := c.job.validate(); (err == nil) != c.ok {
+			t.Errorf("%s: validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestStreamSubmitIDAndResultID(t *testing.T) {
+	s, err := NewStream(context.Background(), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{}
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("j%d", i)
+		id, err := s.SubmitID(quickJob(name, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i {
+			t.Fatalf("submission %d got id %d", i, id)
+		}
+		want[id] = name
+	}
+	s.Close()
+	for r := range s.Results() {
+		if want[r.ID] != r.Name {
+			t.Fatalf("result id %d carries name %q, want %q", r.ID, r.Name, want[r.ID])
+		}
+		delete(want, r.ID)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing results for %v", want)
+	}
+}
+
+func TestStreamSnapshot(t *testing.T) {
+	// One worker; the first job blocks mid-run so the rest stay queued,
+	// giving Snapshot a mixed live set to report. Concurrent Snapshot
+	// calls while the worker churns keep the locking honest under -race.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s, err := NewStream(context.Background(), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker := Job{
+		Name:  "blocker",
+		Until: 1,
+		New: func() (runner.Solver, error) {
+			return &fake{dt: 1, onStep: func() {
+				once.Do(func() { close(started) })
+				<-release
+			}}, nil
+		},
+	}
+	id0, err := s.SubmitID(blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	id1, _ := s.SubmitID(quickJob("queued-lo", 0))
+	id2, _ := s.SubmitID(quickJob("queued-hi", 7))
+
+	stopPoll := make(chan struct{})
+	var poll sync.WaitGroup
+	poll.Add(1)
+	go func() { // hammer Snapshot concurrently with the running worker
+		defer poll.Done()
+		for {
+			select {
+			case <-stopPoll:
+				return
+			default:
+				s.Snapshot()
+			}
+		}
+	}()
+
+	snaps := s.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("%d snapshots, want 3", len(snaps))
+	}
+	byID := map[int]JobSnapshot{}
+	for _, js := range snaps {
+		byID[js.ID] = js
+	}
+	if js := byID[id0]; js.Status != Running || js.Attempt != 1 || js.Name != "blocker" {
+		t.Fatalf("blocker snapshot %+v", js)
+	}
+	if js := byID[id1]; js.Status != Queued || js.Attempt != 0 {
+		t.Fatalf("queued snapshot %+v", js)
+	}
+	if js := byID[id2]; js.Status != Queued || js.Priority != 7 {
+		t.Fatalf("priority snapshot %+v", js)
+	}
+	if _, ok := s.Job(99); ok {
+		t.Fatal("Job(99) found a record for an id never issued")
+	}
+
+	close(release)
+	s.Close()
+	drainAll(s)
+	close(stopPoll)
+	poll.Wait()
+
+	for _, id := range []int{id0, id1, id2} {
+		js, ok := s.Job(id)
+		if !ok || js.Status != Done {
+			t.Fatalf("job %d after drain: %+v ok=%v", id, js, ok)
+		}
+	}
+}
+
+func TestStreamCancelQueued(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s, err := NewStream(context.Background(), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.SubmitID(Job{
+		Name:  "blocker",
+		Until: 1,
+		New: func() (runner.Solver, error) {
+			return &fake{dt: 1, onStep: func() {
+				once.Do(func() { close(started) })
+				<-release
+			}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var built bool
+	victim, err := s.SubmitID(Job{
+		Name:  "victim",
+		Until: 1,
+		New: func() (runner.Solver, error) {
+			built = true
+			return &fake{dt: 1}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Cancel(victim) {
+		t.Fatal("Cancel(queued) reported no effect")
+	}
+	// The snapshot reports the decided cancellation before the worker pops
+	// the job and delivers its Result.
+	if js, ok := s.Job(victim); !ok || js.Status != Cancelled {
+		t.Fatalf("cancelled-while-queued snapshot %+v ok=%v", js, ok)
+	}
+	if s.Cancel(victim) {
+		t.Fatal("second Cancel on a decided cancellation reported effect")
+	}
+	close(release)
+	s.Close()
+	for _, r := range drainAll(s) {
+		if r.ID == victim {
+			if r.Status != Cancelled {
+				t.Fatalf("victim result %+v", r)
+			}
+		} else if r.Status != Done {
+			t.Fatalf("blocker result %+v", r)
+		}
+	}
+	if built {
+		t.Fatal("cancelled-while-queued job constructed its solver")
+	}
+}
+
+func TestStreamCancelQueuedFreesCheckpointKey(t *testing.T) {
+	// Cancelling a queued job frees its checkpoint key immediately: the
+	// corrected resubmission must not wait for a worker to pop the stale
+	// entry — and when the stale entry IS popped, it must not free the
+	// key the resubmitted job now holds.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s, err := NewStream(context.Background(), WithWorkers(1), WithJobCheckpoints(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptJob := func(name string) Job {
+		return Job{Name: name, Until: 1,
+			New: func() (runner.Solver, error) { return &ckptFake{fake{dt: 1}}, nil }}
+	}
+	blocker := Job{
+		Name:  "blocker",
+		Until: 1,
+		New: func() (runner.Solver, error) {
+			return &ckptFake{fake{dt: 1, onStep: func() {
+				once.Do(func() { close(started) })
+				<-release
+			}}}, nil
+		},
+	}
+	if _, err := s.SubmitID(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	victim, err := s.SubmitID(ckptJob("dup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While queued, the name is taken.
+	if _, err := s.SubmitID(ckptJob("dup")); err == nil {
+		t.Fatal("duplicate checkpoint key accepted while queued")
+	}
+	if !s.Cancel(victim) {
+		t.Fatal("cancel failed")
+	}
+	// The decided cancellation frees the key before any worker pops it.
+	second, err := s.SubmitID(ckptJob("dup"))
+	if err != nil {
+		t.Fatalf("resubmission after queued-cancel rejected: %v", err)
+	}
+	// And the second holder's key survives the stale entry's eventual pop:
+	// a third submission while the second is live must still be rejected.
+	if _, err := s.SubmitID(ckptJob("dup")); err == nil {
+		t.Fatal("duplicate checkpoint key accepted while the resubmission is live")
+	}
+	close(release)
+	s.Close()
+	statuses := map[int]Status{}
+	for r := range s.Results() {
+		statuses[r.ID] = r.Status
+	}
+	if statuses[victim] != Cancelled || statuses[second] != Done {
+		t.Fatalf("victim %v, resubmission %v", statuses[victim], statuses[second])
+	}
+}
+
+func TestStreamCancelRunning(t *testing.T) {
+	started := make(chan struct{})
+	var once sync.Once
+	s, err := NewStream(context.Background(), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow many-step job: cancellation lands between steps.
+	id, err := s.SubmitID(Job{
+		Name:  "long",
+		Until: 1e9,
+		New: func() (runner.Solver, error) {
+			return &fake{dt: 1, sleep: time.Millisecond, onStep: func() {
+				once.Do(func() { close(started) })
+			}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if !s.Cancel(id) {
+		t.Fatal("Cancel(running) reported no effect")
+	}
+	s.Close()
+	results := drainAll(s)
+	if len(results) != 1 {
+		t.Fatalf("%d results", len(results))
+	}
+	r := results[0]
+	if r.ID != id || r.Status != Cancelled {
+		t.Fatalf("cancelled running job result %+v", r)
+	}
+	if !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("cancelled running job err = %v", r.Err)
+	}
+	// The stream itself is still healthy: later submissions run.
+	if s.Cancel(999) {
+		t.Fatal("Cancel(unknown id) reported effect")
+	}
+}
+
+func TestStreamCancelDoesNotTouchSiblings(t *testing.T) {
+	// Cancelling one running job must not disturb the other running job or
+	// the stream's intake.
+	type gate struct {
+		started chan struct{}
+		once    sync.Once
+	}
+	gates := []*gate{{started: make(chan struct{})}, {started: make(chan struct{})}}
+	s, err := NewStream(context.Background(), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, 2)
+	for i := range gates {
+		g := gates[i]
+		ids[i], err = s.SubmitID(Job{
+			Name:  fmt.Sprintf("long-%d", i),
+			Until: 1e9,
+			New: func() (runner.Solver, error) {
+				return &fake{dt: 1, sleep: time.Millisecond, onStep: func() {
+					g.once.Do(func() { close(g.started) })
+				}}, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-gates[0].started
+	<-gates[1].started
+	if !s.Cancel(ids[0]) {
+		t.Fatal("cancel failed")
+	}
+	// The sibling keeps running until its own cancellation.
+	time.Sleep(5 * time.Millisecond)
+	if js, _ := s.Job(ids[1]); js.Status != Running {
+		t.Fatalf("sibling status %v after cancelling job 0", js.Status)
+	}
+	s.Cancel(ids[1])
+	s.Close()
+	for _, r := range drainAll(s) {
+		if r.Status != Cancelled {
+			t.Fatalf("result %+v, want cancelled", r)
+		}
+	}
+}
+
+func TestStreamJobHistoryBound(t *testing.T) {
+	// Terminal records beyond the WithJobHistory bound are evicted oldest
+	// first — the status surface of an always-on stream must not grow
+	// without bound.
+	s, err := NewStream(context.Background(), WithWorkers(1), WithJobHistory(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := s.SubmitID(quickJob(fmt.Sprintf("h%d", i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	drainAll(s)
+	snaps := s.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("%d records retained, want 2", len(snaps))
+	}
+	// One worker → completion order is submission order: the newest two
+	// ids survive.
+	if snaps[0].ID != n-2 || snaps[1].ID != n-1 {
+		t.Fatalf("retained ids %d, %d; want %d, %d", snaps[0].ID, snaps[1].ID, n-2, n-1)
+	}
+	if _, ok := s.Job(0); ok {
+		t.Fatal("evicted record still resolvable")
+	}
+	if s.Cancel(0) {
+		t.Fatal("Cancel of an evicted record reported effect")
+	}
+}
+
+func TestJobRetriesOverride(t *testing.T) {
+	// Stream default: no retries. The override job asks for 2 and succeeds
+	// on its third attempt; a sibling without the override fails fast.
+	var overrideAttempts, plainAttempts int
+	transient := func(n *int, failures int) func() (runner.Solver, error) {
+		return func() (runner.Solver, error) {
+			*n++
+			if *n <= failures {
+				return nil, runner.MarkRetryable(errors.New("flaky"))
+			}
+			return &fake{dt: 1}, nil
+		}
+	}
+	s, err := NewStream(context.Background(), WithWorkers(1), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := 2
+	idOverride, _ := s.SubmitID(Job{Name: "override", Until: 1, Retries: &two,
+		New: transient(&overrideAttempts, 2)})
+	idPlain, _ := s.SubmitID(Job{Name: "plain", Until: 1,
+		New: transient(&plainAttempts, 2)})
+	s.Close()
+	for r := range s.Results() {
+		switch r.ID {
+		case idOverride:
+			if r.Status != Done || r.Attempt != 3 {
+				t.Fatalf("override result %+v", r)
+			}
+		case idPlain:
+			if r.Status != Failed || r.Attempt != 1 {
+				t.Fatalf("plain result %+v", r)
+			}
+		}
+	}
+	// The reverse: a scheduler-wide retry policy silenced per-job.
+	s2, err := NewStream(context.Background(), WithWorkers(1),
+		WithRetries(5), WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := 0
+	attempts := 0
+	s2.Submit(Job{Name: "never-retry", Until: 1, Retries: &zero,
+		New: transient(&attempts, 99)})
+	s2.Close()
+	for r := range s2.Results() {
+		if r.Status != Failed || r.Attempt != 1 {
+			t.Fatalf("never-retry result %+v", r)
+		}
+	}
+}
+
+func TestNewBudgetedFactoryReceivesLease(t *testing.T) {
+	// Under WithCoreBudget the factory sees the job's lease before the
+	// first step — construction is budgeted, the ROADMAP's "last
+	// oversubscription window".
+	var factoryShare int
+	s, err := NewStream(context.Background(), WithWorkers(1), WithCoreBudget(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Submit(Job{
+		Name:  "budgeted",
+		Until: 1,
+		NewBudgeted: func(lease runner.WorkerLease) (runner.Solver, error) {
+			if lease == nil {
+				return nil, errors.New("nil lease under an active budget")
+			}
+			factoryShare = lease.Workers()
+			return &fake{dt: 1}, nil
+		},
+	})
+	s.Close()
+	for r := range s.Results() {
+		if r.Status != Done {
+			t.Fatalf("budgeted job result %+v", r)
+		}
+	}
+	if factoryShare != 4 {
+		t.Fatalf("factory saw share %d, want the whole 4-core budget", factoryShare)
+	}
+
+	// Without a budget the lease is a true nil.
+	var sawNil bool
+	s2, err := NewStream(context.Background(), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Submit(Job{
+		Name:  "unbudgeted",
+		Until: 1,
+		NewBudgeted: func(lease runner.WorkerLease) (runner.Solver, error) {
+			sawNil = lease == nil
+			return &fake{dt: 1}, nil
+		},
+	})
+	s2.Close()
+	drainAll(s2)
+	if !sawNil {
+		t.Fatal("factory did not see a nil lease without a budget")
+	}
+}
+
+func TestStreamWorkerBoundsWired(t *testing.T) {
+	// A MaxWorkers-1 job never sees more than one core even as the only
+	// live job of a 4-core budget.
+	var share int
+	s, err := NewStream(context.Background(), WithWorkers(1), WithCoreBudget(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Submit(Job{
+		Name:       "capped",
+		Until:      1,
+		MaxWorkers: 1,
+		NewBudgeted: func(lease runner.WorkerLease) (runner.Solver, error) {
+			share = lease.Workers()
+			return &fake{dt: 1}, nil
+		},
+	})
+	s.Close()
+	drainAll(s)
+	if share != 1 {
+		t.Fatalf("capped job saw share %d, want 1", share)
+	}
+}

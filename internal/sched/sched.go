@@ -113,6 +113,14 @@ type Job struct {
 	// worker count and an expensive construction (IC generation) counts
 	// against the job's share of the batch, not the caller's.
 	New func() (runner.Solver, error)
+	// NewBudgeted is the budget-aware form of New: under WithCoreBudget the
+	// scheduler passes the job's freshly acquired core lease, so an
+	// expensive construction (IC generation fans out over the phase grid)
+	// can size its parallelism to the job's share instead of bursting to
+	// GOMAXPROCS before the first step. Without a budget the lease is nil
+	// and the factory should fall back to its default parallelism. Exactly
+	// one of New and NewBudgeted must be set.
+	NewBudgeted func(lease runner.WorkerLease) (runner.Solver, error)
 	// Restore rebuilds the solver from a checkpoint file (optional). When
 	// set and WithJobCheckpoints is active, the scheduler resumes the job
 	// from the newest restorable snapshot in its directory instead of
@@ -125,10 +133,45 @@ type Job struct {
 	// equal priorities run in submission order. The batch layer ignores it
 	// (a slice is already an explicit order).
 	Priority int
+	// MinWorkers / MaxWorkers bound this job's share of a scheduler core
+	// budget (0 = unbounded): a memory-bandwidth-bound 6D job sets
+	// MinWorkers to out-lease the tiny control runs sharing the stream, a
+	// serial-ish diagnostics job sets MaxWorkers 1 so its surplus cores go
+	// to jobs that can use them. Bounds reshape the division, they do not
+	// reserve capacity; see CoreBudget.AcquireBounded for the exact
+	// semantics. Ignored without WithCoreBudget.
+	MinWorkers int
+	MaxWorkers int
+	// Retries overrides the scheduler's WithRetries policy for this job
+	// (nil = use the scheduler default). A pointer so an explicit 0 —
+	// "never retry this job" — is distinguishable from "no override".
+	Retries *int
 	// Opts are the runner options for this job's Run call. The scheduler
 	// may append wall-clock and checkpoint options from its own
 	// configuration.
 	Opts []runner.Option
+}
+
+// validate checks the per-job invariants shared by Submit and RunBatch.
+func (j *Job) validate() error {
+	if (j.New == nil) == (j.NewBudgeted == nil) {
+		if j.New == nil {
+			return fmt.Errorf("sched: job %q has no solver factory", j.Name)
+		}
+		return fmt.Errorf("sched: job %q sets both New and NewBudgeted", j.Name)
+	}
+	if j.MinWorkers < 0 || j.MaxWorkers < 0 {
+		return fmt.Errorf("sched: job %q: negative worker bound min=%d max=%d",
+			j.Name, j.MinWorkers, j.MaxWorkers)
+	}
+	if j.MaxWorkers > 0 && j.MaxWorkers < j.MinWorkers {
+		return fmt.Errorf("sched: job %q: MaxWorkers %d below MinWorkers %d",
+			j.Name, j.MaxWorkers, j.MinWorkers)
+	}
+	if j.Retries != nil && *j.Retries < 0 {
+		return fmt.Errorf("sched: job %q: retry override %d must be non-negative", j.Name, *j.Retries)
+	}
+	return nil
 }
 
 // Status is the lifecycle state of a job.
@@ -172,6 +215,10 @@ func (s Status) String() string {
 // Result is the outcome of one job. Batch results are returned in job
 // order; stream results are delivered in completion order.
 type Result struct {
+	// ID identifies the job: its position in the batch, or the submission
+	// id SubmitID returned in a stream — the key a service correlates
+	// completion-order results back to its own records with.
+	ID int
 	// Name echoes the job name.
 	Name string
 	// Status is the job's final state.
@@ -218,7 +265,12 @@ type options struct {
 	ckptKeepSet bool
 	budget      int
 	budgetSet   bool
+	history     int
 }
+
+// DefaultJobHistory is the number of terminal job records a stream retains
+// for Snapshot/Job when WithJobHistory does not override it.
+const DefaultJobHistory = 4096
 
 // Option configures a Scheduler, a RunBatch call or a Stream.
 type Option func(*options)
@@ -281,6 +333,18 @@ func WithCoreBudget(total int) Option {
 	}
 }
 
+// WithJobHistory bounds how many *terminal* job records a stream retains
+// for its Snapshot/Job status surface (0 selects DefaultJobHistory). A
+// long-lived service submits indefinitely; without a bound every finished
+// job's record — and the O(history) Snapshot walk — grows forever. Once
+// the bound is exceeded the oldest terminal records are evicted: Job
+// returns false for them, exactly like an id never issued. Live (queued,
+// running, retrying) records are never evicted. The batch layer ignores
+// this option.
+func WithJobHistory(n int) Option {
+	return func(o *options) { o.history = n }
+}
+
 // WithJobCheckpoints gives every job a private checkpoint directory
 // dir/<sanitised job name> and appends the runner's WithCheckpoint (cadence
 // from WithJobCheckpointEvery, default every 10 steps) and
@@ -338,6 +402,13 @@ func buildOptions(opts []Option) (options, error) {
 	if o.budgetSet && o.budget < 0 {
 		return o, fmt.Errorf("sched: core budget %d must be non-negative (0 selects GOMAXPROCS)", o.budget)
 	}
+	if o.history < 0 {
+		return o, fmt.Errorf("sched: job history %d must be non-negative (0 selects the default %d)",
+			o.history, DefaultJobHistory)
+	}
+	if o.history == 0 {
+		o.history = DefaultJobHistory
+	}
 	return o, nil
 }
 
@@ -376,8 +447,8 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	}
 	seen := make(map[string]int, len(jobs))
 	for i, j := range jobs {
-		if j.New == nil {
-			return nil, fmt.Errorf("sched: job %d (%q) has no solver factory", i, j.Name)
+		if err := j.validate(); err != nil {
+			return nil, fmt.Errorf("sched: job %d: %w", i, err)
 		}
 		if s.opts.ckptDir != "" {
 			// The sanitised name keys the checkpoint directory; a collision
@@ -411,7 +482,7 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 
 	results := make([]Result, len(jobs))
 	for i, j := range jobs {
-		results[i] = Result{Name: j.Name, Status: Queued}
+		results[i] = Result{ID: i, Name: j.Name, Status: Queued}
 	}
 
 	var mu sync.Mutex // guards results transitions and serialises notify
@@ -488,6 +559,10 @@ func executeJob(ctx context.Context, o *options, budget *CoreBudget, job Job, de
 		transition(Cancelled, 0, nil, nil)
 		return
 	}
+	retries := o.retries
+	if job.Retries != nil {
+		retries = *job.Retries
+	}
 	for attempt := 1; ; attempt++ {
 		transition(Running, attempt, nil, nil)
 		rep, err := attemptJob(ctx, o, budget, job, deadline)
@@ -498,7 +573,7 @@ func executeJob(ctx context.Context, o *options, budget *CoreBudget, job Job, de
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			transition(Cancelled, attempt, rep, err)
 			return
-		case attempt <= o.retries && runner.IsRetryable(err):
+		case attempt <= retries && runner.IsRetryable(err):
 			transition(Retrying, attempt, rep, err)
 			// Doubling backoff, cancellable: a job killed during its
 			// backoff reports Cancelled like one killed mid-run.
@@ -522,15 +597,16 @@ func attemptJob(ctx context.Context, o *options, budget *CoreBudget, job Job, de
 	if budget != nil {
 		// Acquire before the factory runs, so a heavy construction (IC
 		// generation) does not start until the job holds cores; the wait is
-		// cancellable and bounded by one step of a running job.
-		l, err := budget.Acquire(ctx, job.Priority)
+		// cancellable and bounded by one step of a running job. The job's
+		// worker bounds ride into the allocator here.
+		l, err := budget.AcquireBounded(ctx, job.Priority, job.MinWorkers, job.MaxWorkers)
 		if err != nil {
 			return nil, err
 		}
 		lease = l
 		defer lease.Release()
 	}
-	solver, resumed, err := buildSolver(o, job)
+	solver, resumed, err := buildSolver(o, job, lease)
 	if err != nil {
 		return nil, fmt.Errorf("sched: job %q: factory: %w", job.Name, err)
 	}
@@ -572,8 +648,10 @@ func attemptJob(ctx context.Context, o *options, budget *CoreBudget, job Job, de
 // snapshot that cannot even be read (the checkpoint volume briefly
 // unavailable) fails the attempt with a retryable error instead, so
 // transient I/O never sidelines valid snapshots or silently discards a
-// job's progress through a cold start.
-func buildSolver(o *options, job Job) (s runner.Solver, resumed bool, err error) {
+// job's progress through a cold start. A non-nil lease (the job's already
+// acquired core share) is handed to a NewBudgeted factory so even the cold
+// start constructs within the job's budget.
+func buildSolver(o *options, job Job, lease *Lease) (s runner.Solver, resumed bool, err error) {
 	if o.ckptDir != "" && job.Restore != nil {
 		ckpts, err := runner.ListCheckpoints(jobCheckpointDir(o.ckptDir, job.Name))
 		if err == nil {
@@ -590,7 +668,19 @@ func buildSolver(o *options, job Job) (s runner.Solver, resumed bool, err error)
 			}
 		}
 	}
-	s, err = job.New()
+	if job.NewBudgeted != nil {
+		// An interface holding a nil *Lease is not a nil interface; pass
+		// a true nil so unbudgeted factories can test `lease == nil`.
+		if lease == nil {
+			return coldBuild(job.NewBudgeted(nil))
+		}
+		return coldBuild(job.NewBudgeted(lease))
+	}
+	return coldBuild(job.New())
+}
+
+// coldBuild adapts a factory return to buildSolver's three-value shape.
+func coldBuild(s runner.Solver, err error) (runner.Solver, bool, error) {
 	return s, false, err
 }
 
@@ -612,6 +702,14 @@ func probeReadable(path string) error {
 // jobCheckpointDir derives the per-job checkpoint directory under root.
 func jobCheckpointDir(root, name string) string {
 	return filepath.Join(root, sanitizeJobName(name))
+}
+
+// JobCheckpointDir returns the per-job checkpoint directory the scheduler
+// derives under root for the given job name — the public form of the
+// WithJobCheckpoints layout, so a service can list and serve a job's
+// snapshot artifacts without re-implementing the name sanitisation.
+func JobCheckpointDir(root, name string) string {
+	return jobCheckpointDir(root, name)
 }
 
 // sanitizeJobName maps a job name to a safe single path element: anything

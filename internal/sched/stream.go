@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -58,6 +59,14 @@ type Stream struct {
 	// silently cross-resume, so Submit rejects the second. Re-submitting a
 	// key after its job finishes is allowed — that is the resume path.
 	active map[string]bool
+	// jobs records every submission by id for Snapshot/Job/Cancel — the
+	// status surface a control plane polls. Terminal records are kept as
+	// history (a service reports the recent past, not just the live set)
+	// up to the WithJobHistory bound; beyond it the oldest terminal
+	// records are evicted so an always-on stream's memory stays bounded.
+	jobs map[int]*jobRecord
+	// terminal lists terminal record ids oldest-first — the eviction queue.
+	terminal []int
 
 	notifyMu sync.Mutex
 
@@ -70,6 +79,47 @@ type Stream struct {
 type streamJob struct {
 	job Job
 	seq int
+}
+
+// jobRecord tracks one submission's lifecycle for the status surface. The
+// per-job context is derived from the stream's at Submit time; Cancel fires
+// it, which stops the job wherever it is — still queued (the worker that
+// eventually pops it reports Cancelled without running it) or mid-run
+// (the runner's own cancellation path unwinds it between steps).
+type jobRecord struct {
+	name     string
+	priority int
+	status   Status
+	attempt  int
+	err      error
+	cancel   context.CancelFunc
+	ctx      context.Context
+	// keyFreed marks the checkpoint key released. Cancelling a queued job
+	// frees its key immediately (so the name is resubmittable before a
+	// worker pops the stale entry), and the flag keeps the eventual pop
+	// from releasing the key a *resubmitted* job now holds.
+	keyFreed bool
+}
+
+// JobSnapshot is one submission's point-in-time state, as reported by
+// Snapshot and Job.
+type JobSnapshot struct {
+	// ID is the submission id (SubmitID's return, Update.Index, Result.ID).
+	ID int
+	// Name echoes the job name.
+	Name string
+	// Priority echoes the job's dispatch priority.
+	Priority int
+	// Status is the lifecycle state. A cancelled-while-queued job reports
+	// Cancelled as soon as Cancel is called, even though its Result is
+	// delivered only when a worker pops it from the queue.
+	Status Status
+	// Attempt is the 1-based attempt the status belongs to (0 while
+	// queued).
+	Attempt int
+	// Err is the most recent failure (Failed, Retrying) or cancellation
+	// error, nil otherwise.
+	Err error
 }
 
 // jobHeap is a max-heap on Priority with FIFO order within a priority.
@@ -113,6 +163,7 @@ func NewStream(ctx context.Context, opts ...Option) (*Stream, error) {
 	s := &Stream{
 		opts:    o,
 		ctx:     ctx,
+		jobs:    make(map[int]*jobRecord),
 		results: make(chan Result),
 		done:    make(chan struct{}),
 	}
@@ -158,28 +209,142 @@ func NewStream(ctx context.Context, opts ...Option) (*Stream, error) {
 // WithJobCheckpoints) a checkpoint key already queued or running. Safe for
 // concurrent use.
 func (s *Stream) Submit(job Job) error {
-	if job.New == nil {
-		return fmt.Errorf("sched: job %q has no solver factory", job.Name)
+	_, err := s.SubmitID(job)
+	return err
+}
+
+// SubmitID is Submit returning the submission id: the handle Cancel, Job
+// and Result.ID identify this submission by. Ids are assigned in
+// submission order starting at zero and are never reused.
+func (s *Stream) SubmitID(job Job) (int, error) {
+	if err := job.validate(); err != nil {
+		return 0, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrStreamClosed
+		return 0, ErrStreamClosed
 	}
 	if err := s.ctx.Err(); err != nil {
-		return fmt.Errorf("sched: stream context cancelled: %w", err)
+		return 0, fmt.Errorf("sched: stream context cancelled: %w", err)
 	}
 	if s.active != nil {
 		key := sanitizeJobName(job.Name)
 		if s.active[key] {
-			return fmt.Errorf("sched: job %q: checkpoint key %q already queued or running", job.Name, key)
+			return 0, fmt.Errorf("sched: job %q: checkpoint key %q already queued or running", job.Name, key)
 		}
 		s.active[key] = true
 	}
-	heap.Push(&s.pending, &streamJob{job: job, seq: s.seq})
+	id := s.seq
+	jctx, jcancel := context.WithCancel(s.ctx)
+	s.jobs[id] = &jobRecord{
+		name:     job.Name,
+		priority: job.Priority,
+		status:   Queued,
+		ctx:      jctx,
+		cancel:   jcancel,
+	}
+	heap.Push(&s.pending, &streamJob{job: job, seq: id})
 	s.seq++
 	s.cond.Signal()
-	return nil
+	return id, nil
+}
+
+// Cancel stops one submission by id: a queued job is reported Cancelled
+// without ever constructing its solver (its Result is delivered when a
+// worker pops it from the queue), a running job is stopped through the
+// runner's own cancellation path at its next step boundary. Cancel reports
+// whether it took effect — false for an unknown id or a job already in a
+// terminal state. Cancelling a job during retry backoff cancels the retry.
+func (s *Stream) Cancel(id int) bool {
+	s.mu.Lock()
+	rec, ok := s.jobs[id]
+	if !ok || isTerminal(rec.status) || rec.ctx.Err() != nil {
+		s.mu.Unlock()
+		return false
+	}
+	// A still-queued job's checkpoint key frees now, not when a worker
+	// eventually pops the stale heap entry: the cancellation is decided,
+	// so the name must be immediately resubmittable.
+	if rec.status == Queued {
+		s.freeKeyLocked(rec)
+	}
+	cancel := rec.cancel
+	s.mu.Unlock()
+	// Fire outside the lock: the watcher goroutines context cancellation
+	// wakes may themselves take s.mu.
+	cancel()
+	return true
+}
+
+// freeKeyLocked releases a record's checkpoint key exactly once. Callers
+// hold s.mu.
+func (s *Stream) freeKeyLocked(rec *jobRecord) {
+	if s.active == nil || rec.keyFreed {
+		return
+	}
+	rec.keyFreed = true
+	delete(s.active, sanitizeJobName(rec.name))
+}
+
+// retireLocked enrols a now-terminal record in the history queue and
+// evicts the oldest terminal records past the WithJobHistory bound.
+// Callers hold s.mu.
+func (s *Stream) retireLocked(id int) {
+	s.terminal = append(s.terminal, id)
+	for len(s.terminal) > s.opts.history {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+}
+
+// isTerminal reports whether a status is final.
+func isTerminal(st Status) bool {
+	return st == Done || st == Failed || st == Cancelled
+}
+
+// snapshotLocked builds the external view of one record. A still-queued
+// job whose per-job context is already cancelled reports Cancelled: the
+// cancellation is decided, only its Result delivery waits for a worker.
+func (r *jobRecord) snapshotLocked(id int) JobSnapshot {
+	st := r.status
+	if st == Queued && r.ctx.Err() != nil {
+		st = Cancelled
+	}
+	return JobSnapshot{ID: id, Name: r.name, Priority: r.priority,
+		Status: st, Attempt: r.attempt, Err: r.err}
+}
+
+// Snapshot returns the point-in-time state of every retained submission
+// (every live job plus up to WithJobHistory terminal ones), ordered by id —
+// the per-job view a control plane serves from. Safe for concurrent use
+// with Submit, Cancel and running workers.
+func (s *Stream) Snapshot() []JobSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobSnapshot, 0, len(s.jobs))
+	for id, rec := range s.jobs {
+		out = append(out, rec.snapshotLocked(id))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Job returns the point-in-time state of one submission by id.
+func (s *Stream) Job(id int) (JobSnapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return JobSnapshot{}, false
+	}
+	return rec.snapshotLocked(id), true
+}
+
+// Budget returns the stream's core budget (nil without WithCoreBudget) —
+// the live Total/Held/Live counters a service exports as metrics.
+func (s *Stream) Budget() *CoreBudget {
+	return s.budget
 }
 
 // Close stops intake. Already-queued jobs still run to completion (drain);
@@ -229,11 +394,18 @@ func (s *Stream) work(deadline time.Time) {
 			// heap and exit).
 			flush := s.pending
 			s.pending = nil
+			for _, sj := range flush {
+				if rec, ok := s.jobs[sj.seq]; ok {
+					rec.status = Cancelled
+					rec.cancel()
+					s.freeKeyLocked(rec)
+					s.retireLocked(sj.seq)
+				}
+			}
 			s.mu.Unlock()
 			for _, sj := range flush {
-				s.releaseKey(sj.job.Name)
 				s.notify(Update{Index: sj.seq, Name: sj.job.Name, Status: Cancelled})
-				s.results <- Result{Name: sj.job.Name, Status: Cancelled}
+				s.results <- Result{ID: sj.seq, Name: sj.job.Name, Status: Cancelled}
 			}
 			return
 		}
@@ -247,31 +419,38 @@ func (s *Stream) work(deadline time.Time) {
 	}
 }
 
-// runOne executes one popped job and delivers its terminal result.
+// runOne executes one popped job and delivers its terminal result. The job
+// runs under its own context (derived from the stream's at Submit time), so
+// Cancel(id) stops exactly this submission: before dispatch it short-cuts
+// executeJob's entry check, mid-run it unwinds the runner between steps.
 func (s *Stream) runOne(sj *streamJob, deadline time.Time) {
-	executeJob(s.ctx, &s.opts, s.budget, sj.job, deadline,
+	s.mu.Lock()
+	rec := s.jobs[sj.seq]
+	s.mu.Unlock()
+	// Release the per-job context's resources once the job is terminal; a
+	// long-lived service submits indefinitely and each WithCancel context
+	// otherwise stays parented to the stream context until shutdown.
+	defer rec.cancel()
+	executeJob(rec.ctx, &s.opts, s.budget, sj.job, deadline,
 		func(st Status, attempt int, rep *runner.Report, err error) {
-			s.notify(Update{Index: sj.seq, Name: sj.job.Name, Status: st,
-				Attempt: attempt, Err: err, Report: rep})
-			switch st {
-			case Done, Failed, Cancelled:
+			s.mu.Lock()
+			rec.status = st
+			rec.attempt = attempt
+			rec.err = err
+			if isTerminal(st) {
 				// Release the checkpoint key before delivery, so a consumer
 				// reacting to the result can immediately re-submit the job.
-				s.releaseKey(sj.job.Name)
-				s.results <- Result{Name: sj.job.Name, Status: st,
+				s.freeKeyLocked(rec)
+				s.retireLocked(sj.seq)
+			}
+			s.mu.Unlock()
+			s.notify(Update{Index: sj.seq, Name: sj.job.Name, Status: st,
+				Attempt: attempt, Err: err, Report: rep})
+			if isTerminal(st) {
+				s.results <- Result{ID: sj.seq, Name: sj.job.Name, Status: st,
 					Attempt: attempt, Report: rep, Err: err}
 			}
 		})
-}
-
-// releaseKey frees a terminal job's checkpoint key for re-submission.
-func (s *Stream) releaseKey(name string) {
-	if s.active == nil {
-		return
-	}
-	s.mu.Lock()
-	delete(s.active, sanitizeJobName(name))
-	s.mu.Unlock()
 }
 
 // notify serialises the WithNotify callback across workers, matching the

@@ -1,0 +1,724 @@
+// Package serve is the HTTP control plane over the streaming scheduler —
+// simulation as a service. A Server owns one long-lived sched.Stream (with
+// an optional CoreBudget and per-job checkpointing) and a catalog of
+// scenarios; remote clients submit serialisable JobSpecs, watch status and
+// live diagnostics, cancel jobs, and download checkpoint artifacts:
+//
+//	POST   /v1/jobs                      submit a catalog.JobSpec, get an id
+//	GET    /v1/jobs                      list every submission's status
+//	GET    /v1/jobs/{id}                 one submission's status
+//	DELETE /v1/jobs/{id}                 cancel (queued or running)
+//	GET    /v1/jobs/{id}/diagnostics     live SSE stream of per-step diagnostics
+//	GET    /v1/jobs/{id}/checkpoints     list the job's snapshot artifacts
+//	GET    /v1/jobs/{id}/checkpoints/{file}  download one artifact
+//	GET    /v1/scenarios                 the catalog's contract surface
+//	GET    /healthz                      liveness
+//	GET    /metrics                      text-format counters
+//
+// Diagnostics ride the runner's async observer pipeline (value snapshots
+// off the hot step loop, DropOldest back-pressure), so a slow or absent
+// SSE client never stalls a solver. Shutdown is graceful: Drain stops
+// intake (submissions get 503), lets queued and running jobs finish —
+// checkpointing as they go — until the deadline, then cancels the
+// remainder through the scheduler's own cancellation path and flushes
+// every result. The paper's campaigns are hand-launched one-shot jobs;
+// this is the always-on shape (SK-Gd's real-time monitor is the exemplar)
+// the ROADMAP's service north star asks for.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vlasov6d/internal/catalog"
+	"vlasov6d/internal/runner"
+	"vlasov6d/internal/sched"
+	"vlasov6d/internal/snapio"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Catalog is the scenario registry submissions resolve against
+	// (required).
+	Catalog *catalog.Catalog
+	// Workers bounds the scheduler pool (0 = GOMAXPROCS).
+	Workers int
+	// Budget is the core budget divided among live jobs (0 = no budget:
+	// every job runs unpinned).
+	Budget int
+	// CheckpointDir is the per-job checkpoint root (empty = no
+	// checkpointing; the checkpoints endpoints then return 404).
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in steps (0 = the
+	// scheduler default).
+	CheckpointEvery int
+	// Retries is the default retry policy for transient failures; a spec
+	// may override it per job.
+	Retries int
+	// DiagBuffer is the per-job async diagnostics queue capacity
+	// (0 = 256). The queue is lossy (DropOldest): diagnostics are a
+	// monitoring surface, not the science record.
+	DiagBuffer int
+	// History bounds how many terminal job records the server (and its
+	// stream) retain for the status endpoints (0 = sched.DefaultJobHistory).
+	// An always-on daemon accepts work indefinitely; evicting the oldest
+	// finished jobs keeps memory and GET /v1/jobs bounded.
+	History int
+}
+
+// jobEntry is the server-side record of one submission: the spec it came
+// from, the SSE subscribers watching it, and its terminal result.
+type jobEntry struct {
+	id        int
+	spec      catalog.JobSpec
+	submitted time.Time
+	subs      map[chan sseEvent]struct{}
+	result    *sched.Result // non-nil once terminal
+}
+
+// sseEvent is one message on a job's diagnostics stream.
+type sseEvent struct {
+	// Type is the SSE event name: "diag", "status" or "done".
+	Type string
+	// Data is the JSON payload.
+	Data any
+}
+
+// Server is the control plane. Construct with New, mount Handler, and
+// Drain (or Close) on shutdown.
+type Server struct {
+	cfg    Config
+	stream *sched.Stream
+	cancel context.CancelFunc
+	start  time.Time
+
+	mu       sync.Mutex
+	jobs     map[int]*jobEntry
+	terminal []int // terminal entry ids oldest-first — the eviction queue
+	draining bool
+
+	// counters, guarded by mu: the /metrics surface.
+	submitted, completed, failed, cancelled, retried int64
+
+	drained chan struct{} // closed when the stream's results are flushed
+}
+
+// New starts the control plane: the stream's worker pool is live when New
+// returns. ctx bounds the whole service — cancelling it is the fast
+// shutdown (running jobs stop mid-run); prefer Drain for the graceful one.
+func New(ctx context.Context, cfg Config) (*Server, error) {
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("serve: nil catalog")
+	}
+	if cfg.DiagBuffer == 0 {
+		cfg.DiagBuffer = 256
+	}
+	if cfg.History == 0 {
+		cfg.History = sched.DefaultJobHistory
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Server{
+		cfg:     cfg,
+		cancel:  cancel,
+		start:   time.Now(),
+		jobs:    make(map[int]*jobEntry),
+		drained: make(chan struct{}),
+	}
+	opts := []sched.Option{
+		sched.WithNotify(s.onUpdate),
+		sched.WithRetries(cfg.Retries),
+		sched.WithJobHistory(cfg.History),
+	}
+	if cfg.Workers > 0 {
+		opts = append(opts, sched.WithWorkers(cfg.Workers))
+	}
+	if cfg.Budget > 0 {
+		opts = append(opts, sched.WithCoreBudget(cfg.Budget))
+	}
+	if cfg.CheckpointDir != "" {
+		opts = append(opts, sched.WithJobCheckpoints(cfg.CheckpointDir))
+		if cfg.CheckpointEvery > 0 {
+			opts = append(opts, sched.WithJobCheckpointEvery(cfg.CheckpointEvery))
+		}
+	}
+	stream, err := sched.NewStream(sctx, opts...)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.stream = stream
+	go s.consumeResults()
+	return s, nil
+}
+
+// consumeResults drains the stream's Results channel for the server's
+// lifetime, recording terminal outcomes and waking SSE watchers. The
+// channel closes when the stream is fully drained (after Close or
+// cancellation), which is the service's "everything flushed" signal.
+func (s *Server) consumeResults() {
+	for r := range s.stream.Results() {
+		r := r
+		s.mu.Lock()
+		switch r.Status {
+		case sched.Done:
+			s.completed++
+		case sched.Failed:
+			s.failed++
+		case sched.Cancelled:
+			s.cancelled++
+		}
+		if e, ok := s.jobs[r.ID]; ok {
+			e.result = &r
+			s.publishLocked(e, sseEvent{Type: "done", Data: statusBody(e, s.snapshotFor(r.ID))})
+			// Mirror the stream's history bound: evict the oldest terminal
+			// entries so an always-on daemon's memory stays bounded.
+			// Evicted entries disappear from the map only — attached SSE
+			// handlers keep their pointer and still see the result.
+			s.terminal = append(s.terminal, r.ID)
+			for len(s.terminal) > s.cfg.History {
+				delete(s.jobs, s.terminal[0])
+				s.terminal = s.terminal[1:]
+			}
+		}
+		s.mu.Unlock()
+	}
+	close(s.drained)
+}
+
+// snapshotFor reads the scheduler's view of one submission (zero-value
+// snapshot if the id is unknown — callers pair it with their own entry).
+func (s *Server) snapshotFor(id int) sched.JobSnapshot {
+	js, _ := s.stream.Job(id)
+	return js
+}
+
+// onUpdate receives every scheduler status transition (serialised by the
+// stream) and forwards it to the job's SSE subscribers.
+func (s *Server) onUpdate(u sched.Update) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if u.Status == sched.Retrying {
+		s.retried++
+	}
+	e, ok := s.jobs[u.Index]
+	if !ok {
+		return
+	}
+	body := map[string]any{
+		"id":      u.Index,
+		"name":    u.Name,
+		"status":  u.Status.String(),
+		"attempt": u.Attempt,
+	}
+	if u.Err != nil {
+		body["error"] = u.Err.Error()
+	}
+	s.publishLocked(e, sseEvent{Type: "status", Data: body})
+}
+
+// publishLocked sends an event to every subscriber of a job without
+// blocking: a slow SSE client loses events, never stalls the scheduler.
+// Callers hold s.mu.
+func (s *Server) publishLocked(e *jobEntry, ev sseEvent) {
+	for ch := range e.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// publishDiag delivers one diagnostics snapshot to a job's subscribers; it
+// runs on the job's async observer goroutine, off the step loop.
+func (s *Server) publishDiag(e *jobEntry, step int, d runner.Diagnostics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(e.subs) == 0 {
+		return
+	}
+	body := map[string]any{
+		"step":  step,
+		"clock": safeNum(d.Clock),
+		"time":  safeNum(d.Time),
+		"mass":  safeNum(d.Mass),
+	}
+	for k, v := range d.Extra {
+		body[k] = safeNum(v)
+	}
+	s.publishLocked(e, sseEvent{Type: "diag", Data: body})
+}
+
+// safeNum makes a float JSON-encodable: encoding/json rejects NaN and ±Inf,
+// and a diverging run's diagnostics (a client-chosen unstable dt) must
+// degrade to a readable value, not silently kill the SSE stream before its
+// terminal event.
+func safeNum(f float64) any {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return fmt.Sprintf("%g", f)
+	}
+	return f
+}
+
+// Stream exposes the underlying scheduler (tests and embedders).
+func (s *Server) Stream() *sched.Stream { return s.stream }
+
+// Drain is the graceful shutdown: stop accepting submissions, close the
+// stream so queued and running jobs finish (checkpointing on their
+// cadence), and flush every result. If ctx expires first the remaining
+// jobs are cancelled through the scheduler and the drain completes on the
+// fast path. Drain returns nil for a clean drain and ctx.Err() when the
+// deadline forced cancellation.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.stream.Close()
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-s.drained
+		return ctx.Err()
+	}
+}
+
+// Close is the fast shutdown: cancel everything and wait for the flush.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.stream.Close()
+	s.cancel()
+	<-s.drained
+}
+
+// Handler returns the control plane's routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/diagnostics", s.handleDiagnostics)
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints", s.handleCheckpoints)
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints/{file}", s.handleCheckpointFile)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
+}
+
+// writeErr writes a JSON error body.
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// handleSubmit resolves a JobSpec through the catalog and submits it.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec catalog.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: bad spec: %w", err))
+		return
+	}
+	job, err := s.cfg.Catalog.Job(spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	entry := &jobEntry{spec: spec, submitted: time.Now(), subs: make(map[chan sseEvent]struct{})}
+	// The per-job diagnostics pipe: value snapshots delivered off the step
+	// loop, dropped (oldest first) when no SSE client keeps up.
+	job.Opts = append(job.Opts, runner.WithAsyncObserver(
+		func(step int, d runner.Diagnostics) error {
+			s.publishDiag(entry, step, d)
+			return nil
+		},
+		runner.WithAsyncBuffer(s.cfg.DiagBuffer),
+		runner.WithBackpressure(runner.DropOldest),
+	))
+	// Registration holds s.mu across SubmitID so the notify callback —
+	// which also takes s.mu — cannot observe the job before its entry
+	// exists, even though a worker may pick it up immediately.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("serve: draining, not accepting work"))
+		return
+	}
+	id, err := s.stream.SubmitID(job)
+	if err != nil {
+		s.mu.Unlock()
+		// A closed or cancelled stream is the service shutting down — the
+		// same 503 as the draining gate. Only the duplicate-checkpoint-key
+		// rejection is a true conflict with existing state.
+		if errors.Is(err, sched.ErrStreamClosed) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	entry.id = id
+	s.jobs[id] = entry
+	s.submitted++
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":     id,
+		"name":   job.Name,
+		"status": sched.Queued.String(),
+	})
+}
+
+// statusBody renders one submission's status document. A recorded terminal
+// result is authoritative over the scheduler snapshot: the stream's
+// bounded history may already have evicted the record (js then reads as a
+// zero value), but the result the server holds is the job's true outcome.
+func statusBody(e *jobEntry, js sched.JobSnapshot) map[string]any {
+	name, status, attempt := js.Name, js.Status.String(), js.Attempt
+	errMsg := ""
+	if js.Err != nil {
+		errMsg = js.Err.Error()
+	}
+	if r := e.result; r != nil {
+		name, status, attempt = r.Name, r.Status.String(), r.Attempt
+		if r.Err != nil {
+			errMsg = r.Err.Error()
+		}
+	}
+	body := map[string]any{
+		"id":        e.id,
+		"name":      name,
+		"scenario":  e.spec.Scenario,
+		"status":    status,
+		"attempt":   attempt,
+		"priority":  e.spec.Priority,
+		"submitted": e.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if errMsg != "" {
+		body["error"] = errMsg
+	}
+	if e.result != nil && e.result.Report != nil {
+		rep := e.result.Report
+		body["report"] = map[string]any{
+			"steps":            rep.Steps,
+			"clock":            safeNum(rep.Clock),
+			"wall_seconds":     rep.Wall.Seconds(),
+			"reason":           rep.Reason.String(),
+			"checkpoints":      len(rep.Checkpoints),
+			"checkpoint_bytes": rep.CheckpointBytes,
+			"dropped_obs":      rep.DroppedObservations,
+		}
+	}
+	return body
+}
+
+// lookup resolves the {id} path value to the entry and scheduler snapshot.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*jobEntry, sched.JobSnapshot, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: bad job id %q", r.PathValue("id")))
+		return nil, sched.JobSnapshot{}, false
+	}
+	s.mu.Lock()
+	e, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("serve: no job %d", id))
+		return nil, sched.JobSnapshot{}, false
+	}
+	return e, s.snapshotFor(id), true
+}
+
+// handleList reports every retained submission, newest last. The server's
+// own records drive the listing (they, not the stream's bounded history,
+// decide what is still reportable); the scheduler snapshot fills in the
+// live statuses.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	byID := make(map[int]sched.JobSnapshot)
+	for _, js := range s.stream.Snapshot() {
+		byID[js.ID] = js
+	}
+	s.mu.Lock()
+	ids := make([]int, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]map[string]any, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, statusBody(s.jobs[id], byID[id]))
+	}
+	depth := s.stream.Pending()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out, "queued": depth})
+}
+
+// handleGet reports one submission.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	e, js, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	body := statusBody(e, js)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleCancel cancels one submission (queued or running).
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	e, js, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if !s.stream.Cancel(e.id) {
+		writeErr(w, http.StatusConflict,
+			fmt.Errorf("serve: job %d already %s", e.id, js.Status))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": e.id, "status": "cancelling"})
+}
+
+// handleScenarios serves the catalog's contract surface.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": s.cfg.Catalog.Scenarios()})
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"draining":       draining,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleMetrics serves text-format counters (one "name value" per line,
+// Prometheus-style exposition without the type annotations).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	submitted, completed, failed, cancelled, retried :=
+		s.submitted, s.completed, s.failed, s.cancelled, s.retried
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "vlasovd_jobs_submitted_total %d\n", submitted)
+	fmt.Fprintf(w, "vlasovd_jobs_completed_total %d\n", completed)
+	fmt.Fprintf(w, "vlasovd_jobs_failed_total %d\n", failed)
+	fmt.Fprintf(w, "vlasovd_jobs_cancelled_total %d\n", cancelled)
+	fmt.Fprintf(w, "vlasovd_jobs_retried_total %d\n", retried)
+	fmt.Fprintf(w, "vlasovd_queue_depth %d\n", s.stream.Pending())
+	if b := s.stream.Budget(); b != nil {
+		fmt.Fprintf(w, "vlasovd_budget_cores_total %d\n", b.Total())
+		fmt.Fprintf(w, "vlasovd_budget_cores_in_use %d\n", b.Held())
+		fmt.Fprintf(w, "vlasovd_budget_jobs_live %d\n", b.Live())
+	}
+}
+
+// handleDiagnostics streams a job's per-step diagnostics as server-sent
+// events: "status" on every scheduler transition, "diag" per observed step,
+// and a final "done" carrying the terminal status document. A job already
+// terminal yields just the "done" event.
+func (s *Server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
+	e, _, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeErr(w, http.StatusNotImplemented, fmt.Errorf("serve: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	// Flush the headers now: a subscriber to a still-queued job must see
+	// the stream open immediately, not block header-less until the first
+	// event fires.
+	fl.Flush()
+
+	sub := make(chan sseEvent, s.cfg.DiagBuffer)
+	s.mu.Lock()
+	if e.result != nil {
+		body := statusBody(e, s.snapshotFor(e.id))
+		s.mu.Unlock()
+		writeSSE(w, sseEvent{Type: "done", Data: body})
+		fl.Flush()
+		return
+	}
+	e.subs[sub] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(e.subs, sub)
+		s.mu.Unlock()
+	}()
+
+	// The ticker backstops lossy delivery: if the terminal "done" event
+	// was dropped (full subscriber queue), the poll notices the recorded
+	// result and closes the stream anyway.
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-sub:
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			fl.Flush()
+			if ev.Type == "done" {
+				return
+			}
+		case <-tick.C:
+			s.mu.Lock()
+			terminal := e.result != nil
+			var body map[string]any
+			if terminal {
+				body = statusBody(e, s.snapshotFor(e.id))
+			}
+			s.mu.Unlock()
+			if terminal {
+				writeSSE(w, sseEvent{Type: "done", Data: body})
+				fl.Flush()
+				return
+			}
+		}
+	}
+}
+
+// writeSSE writes one event in text/event-stream framing.
+func writeSSE(w http.ResponseWriter, ev sseEvent) error {
+	data, err := json.Marshal(ev.Data)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	return err
+}
+
+// checkpointInfo is one artifact in a listing.
+type checkpointInfo struct {
+	Name  string  `json:"name"`
+	Bytes int64   `json:"bytes"`
+	Clock float64 `json:"clock"`
+	// Format tags what can open the file: "snapio-v1"/"snapio-v2" for the
+	// cosmological snapshots, "solver" for solver-private formats.
+	Format string `json:"format"`
+}
+
+// jobCheckpointDir resolves a job's checkpoint directory, or "" when the
+// server does not checkpoint. The name comes from the recorded terminal
+// result when the stream's bounded history has already evicted its record
+// (the snapshot then reads as a zero value, whose empty name would
+// silently resolve to the wrong directory).
+func (s *Server) jobCheckpointDir(e *jobEntry, js sched.JobSnapshot) string {
+	if s.cfg.CheckpointDir == "" {
+		return ""
+	}
+	name := js.Name
+	s.mu.Lock()
+	if e.result != nil {
+		name = e.result.Name
+	}
+	s.mu.Unlock()
+	if name == "" {
+		return ""
+	}
+	return sched.JobCheckpointDir(s.cfg.CheckpointDir, name)
+}
+
+// handleCheckpoints lists a job's snapshot artifacts, oldest first.
+func (s *Server) handleCheckpoints(w http.ResponseWriter, r *http.Request) {
+	e, js, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	dir := s.jobCheckpointDir(e, js)
+	if dir == "" {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("serve: checkpointing disabled"))
+		return
+	}
+	paths, err := runner.ListCheckpoints(dir)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	infos := make([]checkpointInfo, 0, len(paths))
+	for _, p := range paths {
+		info := checkpointInfo{Name: filepath.Base(p), Format: "solver"}
+		if st, err := os.Stat(p); err == nil {
+			info.Bytes = st.Size()
+		}
+		// The clock is embedded in the fixed-width file name.
+		fmt.Sscanf(info.Name, "ckpt_%f.v6d", &info.Clock)
+		if f, err := os.Open(p); err == nil {
+			if v, _, ok := snapio.Probe(f); ok {
+				info.Format = fmt.Sprintf("snapio-v%d", v)
+			}
+			f.Close()
+		}
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"job": js.Name, "checkpoints": infos})
+}
+
+// handleCheckpointFile downloads one artifact. The file name is validated
+// against the checkpoint naming scheme — this endpoint serves snapshots,
+// not the filesystem.
+func (s *Server) handleCheckpointFile(w http.ResponseWriter, r *http.Request) {
+	e, js, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	dir := s.jobCheckpointDir(e, js)
+	if dir == "" {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("serve: checkpointing disabled"))
+		return
+	}
+	name := r.PathValue("file")
+	if !strings.HasPrefix(name, "ckpt_") || !strings.HasSuffix(name, ".v6d") ||
+		strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: %q is not a checkpoint file name", name))
+		return
+	}
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("serve: no checkpoint %q", name))
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", name))
+	http.ServeContent(w, r, name, time.Time{}, f)
+}

@@ -48,6 +48,29 @@ type Snapshot struct {
 	NuPart *nbody.Particles
 }
 
+// Probe reads just the fixed header prefix of a snapshot file and reports
+// its snapio format version (1 or 2) and the scale factor it was taken at.
+// ok is false when the file does not start with a snapio magic — solvers
+// with private checkpoint formats (the 1D1V plasma solver) share the
+// runner's ckpt_*.v6d naming, so an artifact listing uses Probe to tell
+// which files a snapio reader can open without decoding whole snapshots.
+func Probe(r io.Reader) (version int, a float64, ok bool) {
+	var b [16]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, 0, false
+	}
+	le := binary.LittleEndian
+	switch le.Uint64(b[:8]) {
+	case Magic:
+		version = 1
+	case MagicV2:
+		version = 2
+	default:
+		return 0, 0, false
+	}
+	return version, math.Float64frombits(le.Uint64(b[8:16])), true
+}
+
 // countingWriter tracks bytes written.
 type countingWriter struct {
 	w io.Writer

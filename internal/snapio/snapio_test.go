@@ -219,3 +219,36 @@ func TestWriteValidation(t *testing.T) {
 		t.Fatal("missing particles accepted")
 	}
 }
+
+func TestProbe(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, sampleSnapshot(t, false)); err != nil {
+		t.Fatal(err)
+	}
+	v, a, ok := Probe(bytes.NewReader(buf.Bytes()))
+	if !ok || v != 1 || a != 0.5 {
+		t.Fatalf("Probe(v1) = %d, %v, %v", v, a, ok)
+	}
+	// A v2 snapshot (ν-particle section present) probes as version 2.
+	s := sampleSnapshot(t, false)
+	nu, err := nbody.NewParticles(8, 0.1, [3]float64{50, 50, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.NuPart = nu
+	buf.Reset()
+	if _, err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, ok := Probe(bytes.NewReader(buf.Bytes())); !ok || v != 2 {
+		t.Fatalf("Probe(v2) = %d, %v", v, ok)
+	}
+	// Foreign bytes (a solver-private checkpoint) are not snapio's.
+	if _, _, ok := Probe(bytes.NewReader([]byte("PLASMA-CKPT-FORMAT-0123456789"))); ok {
+		t.Fatal("Probe accepted a non-snapio file")
+	}
+	// A file shorter than the header prefix is not ok rather than an error.
+	if _, _, ok := Probe(bytes.NewReader(buf.Bytes()[:7])); ok {
+		t.Fatal("Probe accepted a truncated prefix")
+	}
+}

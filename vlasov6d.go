@@ -129,6 +129,13 @@ func WithoutTree() SimOption { return func(c *Config) { c.NoTree = true } }
 // control run.
 func WithoutNeutrinos() SimOption { return func(c *Config) { c.NoNeutrino = true } }
 
+// WithWorkers pins the simulation's intra-step worker count from
+// construction onwards (0 = GOMAXPROCS). Unlike a post-construction
+// SetWorkers call it also bounds the expensive initial-condition pass (the
+// 6D grid fill), which is what a scheduler core budget needs to keep
+// construction from bursting past a job's share.
+func WithWorkers(n int) SimOption { return func(c *Config) { c.Workers = n } }
+
 // WithNuParticleBaseline switches the neutrino component to TianNu-style
 // particles (the §5.4 baseline) with nnuSide³ particles; nnuSide = 0
 // selects the paper's 2·NPartSide.
