@@ -5,24 +5,30 @@
 // Vlasov/N-body runs, the control baselines — becomes remotely
 // submittable as a JSON spec instead of a hand-launched binary.
 //
-//	vlasovd -addr :8080 -budget 8 -ckpt-dir /var/lib/vlasovd/ckpts
+//	vlasovd -addr :8080 -budget 8 -ckpt-dir /var/lib/vlasovd/ckpts \
+//	        -store-dir /var/lib/vlasovd/store -keys /etc/vlasovd/keys.json
 //
-// Quickstart against a running daemon:
+// Quickstart against a running daemon (drop the -H line when no -keys):
 //
-//	curl -s localhost:8080/v1/scenarios | jq .            # what can run
-//	curl -s -X POST localhost:8080/v1/jobs \
+//	curl -s -H 'Authorization: Bearer <key>' localhost:8080/v1/scenarios | jq .
+//	curl -s -H 'Authorization: Bearer <key>' -X POST localhost:8080/v1/jobs \
 //	     -d '{"scenario":"landau","params":{"nx":64,"nv":128}}'
-//	curl -s localhost:8080/v1/jobs/0 | jq .               # poll status
-//	curl -N localhost:8080/v1/jobs/0/diagnostics          # live SSE
-//	curl -s localhost:8080/v1/jobs/0/checkpoints | jq .   # artifacts
-//	curl -s localhost:8080/metrics                        # counters
+//	curl -s -H 'Authorization: Bearer <key>' localhost:8080/v1/jobs/0 | jq .
+//	curl -N -H 'Authorization: Bearer <key>' localhost:8080/v1/jobs/0/diagnostics
+//	curl -s -H 'Authorization: Bearer <key>' localhost:8080/v1/jobs/0/checkpoints | jq .
+//	curl -s localhost:8080/metrics                        # unauthenticated
 //
 // SIGTERM/SIGINT starts the graceful drain: intake stops (submissions get
-// 503), queued and running jobs finish — checkpointing on their cadence —
-// until -drain expires, then the remainder is cancelled through the
-// scheduler and every result is flushed before exit. Re-starting the
-// daemon with the same -ckpt-dir resumes re-submitted jobs from their
-// newest snapshots: the kill-and-reinvoke contract, now over HTTP.
+// 503 with Retry-After), queued and running jobs finish — checkpointing on
+// their cadence — until -drain expires, then the remainder is cancelled
+// through the scheduler and every result is flushed before exit.
+//
+// With -store-dir the daemon is durable: every submission's lifecycle is
+// journaled, and a restart — graceful OR a straight SIGKILL — replays the
+// journal, re-queues every unfinished job under its original id, and
+// resumes it from its newest checkpoint (with -ckpt-dir). With -keys the
+// /v1 surface requires bearer keys and enforces the per-tenant quotas the
+// key file declares; see internal/tenant for the file format.
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 
 	"vlasov6d/internal/catalog"
 	"vlasov6d/internal/serve"
+	"vlasov6d/internal/tenant"
 )
 
 func main() {
@@ -52,8 +59,19 @@ func main() {
 		ckptEvery = flag.Int("ckpt-every", 25, "checkpoint cadence in steps (with -ckpt-dir)")
 		retries   = flag.Int("retries", 1, "default extra attempts per job after a transient failure (specs may override)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before running jobs are cancelled")
+		storeDir  = flag.String("store-dir", "", "durable job-journal directory (empty = in-memory only; with it, restarts recover unfinished jobs)")
+		keys      = flag.String("keys", "", "tenant key file enabling bearer-key auth and per-tenant quotas (empty = open access)")
 	)
 	flag.Parse()
+
+	var reg *tenant.Registry
+	if *keys != "" {
+		var err error
+		if reg, err = tenant.Load(*keys); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("tenancy on: %d tenants from %s", len(reg.Tenants()), *keys)
+	}
 
 	srv, err := serve.New(context.Background(), serve.Config{
 		Catalog:         catalog.Default(),
@@ -62,6 +80,8 @@ func main() {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		Retries:         *retries,
+		StoreDir:        *storeDir,
+		Tenants:         reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -72,8 +92,8 @@ func main() {
 		log.Fatal(err)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	log.Printf("listening on %s (budget %d cores, checkpoint dir %q)",
-		ln.Addr(), *budget, *ckptDir)
+	log.Printf("listening on %s (budget %d cores, checkpoint dir %q, store dir %q)",
+		ln.Addr(), *budget, *ckptDir, *storeDir)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()

@@ -8,6 +8,12 @@
 //	go run ./cmd/vlasovd -addr :8080 &
 //	go run ./examples/client -addr http://localhost:8080
 //
+// Against a daemon started with -keys, pass the tenant's bearer key via
+// -token; every request then carries "Authorization: Bearer <token>". The
+// client explains 401/403/429 responses in plain language and, when a
+// submission is rate-limited (429) or hits the drain window (503), honours
+// the Retry-After header and retries a bounded number of times.
+//
 // The client submits a scheme × resolution grid of Landau-damping jobs
 // (the same campaign cmd/sweep runs in-process), tails the live SSE
 // diagnostics of one of them, polls until the whole grid is terminal, and
@@ -22,6 +28,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -54,9 +61,11 @@ func main() {
 		schemes = flag.String("schemes", "slmpp5,mp5", "advection schemes to submit")
 		res     = flag.String("res", "16x32,32x64", "NXxNV resolutions to submit")
 		until   = flag.Float64("until", 10, "integration time ω_p·t")
+		tok     = flag.String("token", "", "tenant bearer key for a daemon started with -keys (empty = anonymous)")
 	)
 	flag.Parse()
 	base := strings.TrimRight(*addr, "/")
+	token = *tok
 
 	// Submit the grid: one JSON spec per scheme × resolution cell.
 	var ids []int
@@ -74,18 +83,9 @@ func main() {
 				"priority": -nx * nv,
 			}
 			body, _ := json.Marshal(spec)
-			resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+			sub, err := submit(base, body)
 			if err != nil {
-				log.Fatalf("submit: %v", err)
-			}
-			raw, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusAccepted {
-				log.Fatalf("submit %s@%s: %d %s", sc, rs, resp.StatusCode, raw)
-			}
-			var sub submitResp
-			if err := json.Unmarshal(raw, &sub); err != nil {
-				log.Fatalf("submit response: %v", err)
+				log.Fatalf("submit %s@%s: %v", sc, rs, err)
 			}
 			log.Printf("submitted #%d %s", sub.ID, sub.Name)
 			ids = append(ids, sub.ID)
@@ -131,7 +131,7 @@ func main() {
 	}
 
 	// The daemon's counters after the campaign.
-	resp, err := http.Get(base + "/metrics")
+	resp, err := get(base + "/metrics")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -140,17 +140,95 @@ func main() {
 	fmt.Printf("\ndaemon metrics:\n%s", metrics)
 }
 
+// token is the bearer key every request carries when non-empty (-token).
+var token string
+
+// do sends one request with the Authorization header applied.
+func do(method, url string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	return http.DefaultClient.Do(req)
+}
+
+func get(url string) (*http.Response, error) { return do(http.MethodGet, url, nil) }
+
+// explain turns the daemon's auth/quota failures into actionable messages;
+// other statuses fall through to the raw body.
+func explain(status int, raw []byte) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(raw))
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		msg = body.Error
+	}
+	switch status {
+	case http.StatusUnauthorized:
+		return fmt.Errorf("401 unauthorized: %s (daemon runs with -keys; pass your tenant key via -token)", msg)
+	case http.StatusForbidden:
+		return fmt.Errorf("403 forbidden: %s (that job belongs to another tenant)", msg)
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("429 quota exceeded: %s", msg)
+	default:
+		return fmt.Errorf("status %d: %s", status, msg)
+	}
+}
+
+// retryAfter parses the Retry-After header (delta-seconds form), with a
+// floor of one second and a fallback when absent or unparsable.
+func retryAfter(h http.Header) time.Duration {
+	if s, err := strconv.Atoi(strings.TrimSpace(h.Get("Retry-After"))); err == nil && s >= 1 {
+		return time.Duration(s) * time.Second
+	}
+	return time.Second
+}
+
+// submit posts one job spec, honouring Retry-After on 429 (quota/rate
+// limit) and 503 (drain) for a bounded number of attempts.
+func submit(base string, body []byte) (submitResp, error) {
+	var sub submitResp
+	for attempt := 1; ; attempt++ {
+		resp, err := do(http.MethodPost, base+"/v1/jobs", strings.NewReader(string(body)))
+		if err != nil {
+			return sub, err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			return sub, json.Unmarshal(raw, &sub)
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if attempt >= 5 {
+				return sub, fmt.Errorf("gave up after %d attempts: %w", attempt, explain(resp.StatusCode, raw))
+			}
+			wait := retryAfter(resp.Header)
+			log.Printf("submit: %v — retrying in %v", explain(resp.StatusCode, raw), wait)
+			time.Sleep(wait)
+		default:
+			return sub, explain(resp.StatusCode, raw)
+		}
+	}
+}
+
 // getStatus fetches one job's status document.
 func getStatus(base string, id int) (jobStatus, error) {
 	var st jobStatus
-	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", base, id))
+	resp, err := get(fmt.Sprintf("%s/v1/jobs/%d", base, id))
 	if err != nil {
 		return st, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		raw, _ := io.ReadAll(resp.Body)
-		return st, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+		return st, explain(resp.StatusCode, raw)
 	}
 	return st, json.NewDecoder(resp.Body).Decode(&st)
 }
@@ -158,7 +236,7 @@ func getStatus(base string, id int) (jobStatus, error) {
 // tailDiagnostics streams one job's SSE diagnostics to the log until the
 // terminal "done" event, printing every ~20th step.
 func tailDiagnostics(base string, id int) {
-	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d/diagnostics", base, id))
+	resp, err := get(fmt.Sprintf("%s/v1/jobs/%d/diagnostics", base, id))
 	if err != nil {
 		log.Printf("diagnostics #%d: %v", id, err)
 		return

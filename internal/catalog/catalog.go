@@ -16,6 +16,7 @@
 package catalog
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -217,6 +218,20 @@ type JobSpec struct {
 	MaxSteps int `json:"max_steps,omitempty"`
 	// FixedDT disables adaptive stepping and uses this dt.
 	FixedDT float64 `json:"fixed_dt,omitempty"`
+}
+
+// Canonical serialises the spec deterministically: fixed field order (the
+// struct declaration), lexicographically sorted Params keys, no
+// insignificant whitespace. Two equal specs always produce identical
+// bytes, and Canonical(decode(Canonical(s))) == Canonical(s), so a journal
+// that stores canonical bytes round-trips byte-stably across a
+// write/replay/compact cycle and replayed bytes can be compared or hashed
+// directly.
+func (s JobSpec) Canonical() ([]byte, error) {
+	// encoding/json already gives both guarantees: struct fields marshal in
+	// declaration order and map keys sort lexicographically. The method
+	// exists so callers depend on the contract, not the accident.
+	return json.Marshal(s)
 }
 
 // Validate resolves a spec against the catalog: the scenario must exist,

@@ -192,3 +192,40 @@ func TestBudgetedConstruction(t *testing.T) {
 type fixedLease int
 
 func (f fixedLease) Workers() int { return int(f) }
+
+func TestCanonicalByteStable(t *testing.T) {
+	spec := JobSpec{
+		Scenario: "landau",
+		Name:     "probe",
+		Params:   map[string]any{"nv": 24, "nx": 16, "amplitude": 0.01},
+		Until:    5,
+		Priority: 3,
+	}
+	a, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same spec, params inserted in a different order: identical bytes.
+	spec2 := spec
+	spec2.Params = map[string]any{"amplitude": 0.01, "nx": 16, "nv": 24}
+	b, err := spec2.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("insertion order leaked into canonical form:\n%s\n%s", a, b)
+	}
+	// Round trip through decode: still identical — what a journal replay
+	// re-canonicalising a stored spec relies on.
+	var back JobSpec
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatal(err)
+	}
+	c, err := back.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(c) {
+		t.Fatalf("canonical form not a fixed point:\n%s\n%s", a, c)
+	}
+}

@@ -134,9 +134,10 @@ type pipeline struct {
 	closed bool
 	err    error // first observer/checkpoint error; set once
 
-	obs      AsyncObserver
-	ckptDir  string
-	ckptKeep int
+	obs        AsyncObserver
+	ckptDir    string
+	ckptKeep   int
+	ckptNotify func(path string, clock float64)
 
 	// Consumer-side results, merged into the Report after drain.
 	written []string
@@ -148,12 +149,13 @@ type pipeline struct {
 
 func newPipeline(o *options) *pipeline {
 	p := &pipeline{
-		max:      o.asyncOpts.buffer,
-		policy:   o.asyncOpts.policy,
-		obs:      o.asyncObs,
-		ckptDir:  o.ckptDir,
-		ckptKeep: o.ckptKeep,
-		done:     make(chan struct{}),
+		max:        o.asyncOpts.buffer,
+		policy:     o.asyncOpts.policy,
+		obs:        o.asyncObs,
+		ckptDir:    o.ckptDir,
+		ckptKeep:   o.ckptKeep,
+		ckptNotify: o.ckptNotify,
+		done:       make(chan struct{}),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	go p.consume()
@@ -270,6 +272,9 @@ func (p *pipeline) writeCheckpoint(ev event) error {
 	}
 	p.written = append(p.written, path)
 	p.bytes += n
+	if p.ckptNotify != nil {
+		p.ckptNotify(path, ev.clock)
+	}
 	if p.ckptKeep > 0 {
 		p.written, err = pruneCheckpoints(p.ckptDir, p.ckptKeep, p.written)
 		if err != nil {

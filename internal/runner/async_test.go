@@ -340,3 +340,53 @@ func TestBackpressureString(t *testing.T) {
 		t.Fatal("Backpressure strings")
 	}
 }
+
+func TestCheckpointNotifyBothPaths(t *testing.T) {
+	// One notification per durable file, carrying the path and the clock
+	// it captures — on the sync step-loop path and on the async pipeline.
+	type note struct {
+		path  string
+		clock float64
+	}
+	for name, wrap := range map[string]func(dir string, notify func(string, float64)) (*Report, error){
+		"sync": func(dir string, notify func(string, float64)) (*Report, error) {
+			f := &ckptFake{fake{dt: 0.1}}
+			return Run(context.Background(), f, 100, WithMaxSteps(6),
+				WithCheckpoint(dir, 2), WithCheckpointNotify(notify))
+		},
+		"async": func(dir string, notify func(string, float64)) (*Report, error) {
+			f := &capFake{ckptFake{fake{dt: 0.1}}}
+			return Run(context.Background(), f, 100, WithMaxSteps(6),
+				WithCheckpoint(dir, 2), WithCheckpointNotify(notify),
+				WithAsyncObserver(nil))
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			var mu sync.Mutex
+			var notes []note
+			rep, err := wrap(dir, func(path string, clock float64) {
+				mu.Lock()
+				notes = append(notes, note{path, clock})
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if len(notes) != len(rep.Checkpoints) {
+				t.Fatalf("%d notifications for %d checkpoints", len(notes), len(rep.Checkpoints))
+			}
+			for i, n := range notes {
+				if n.path != rep.Checkpoints[i] {
+					t.Fatalf("notification %d path %q, want %q", i, n.path, rep.Checkpoints[i])
+				}
+				want := 0.2 * float64(i+1)
+				if diff := n.clock - want; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("notification %d clock %v, want %v", i, n.clock, want)
+				}
+			}
+		})
+	}
+}

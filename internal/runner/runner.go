@@ -177,6 +177,7 @@ type options struct {
 	ckptDir    string
 	ckptEvery  int
 	ckptKeep   int
+	ckptNotify func(path string, clock float64)
 	fixedDT    float64
 	fixedDTSet bool
 	lease      WorkerLease
@@ -218,6 +219,19 @@ func WithCheckpoint(dir string, everyN int) Option {
 		o.ckptDir = dir
 		o.ckptEvery = everyN
 	}
+}
+
+// WithCheckpointNotify calls fn after every successfully written snapshot
+// with the file's path and the solver clock it captures. On the synchronous
+// path fn runs on the step loop's goroutine; under WithAsync it runs on the
+// pipeline goroutine — either way, one call per durable file, after the
+// atomic rename. A durable control plane hangs its journal here: the
+// notification is the ground truth that a restart can resume from that
+// clock. fn must not block for long (it stalls stepping or checkpoint
+// draining) and must be safe to call from a different goroutine than Run's
+// caller.
+func WithCheckpointNotify(fn func(path string, clock float64)) Option {
+	return func(o *options) { o.ckptNotify = fn }
 }
 
 // WithCheckpointKeep prunes the checkpoint directory to the newest n
@@ -416,6 +430,9 @@ func Run(ctx context.Context, s Solver, until float64, opts ...Option) (*Report,
 				}
 				rep.Checkpoints = append(rep.Checkpoints, path)
 				rep.CheckpointBytes += n
+				if o.ckptNotify != nil {
+					o.ckptNotify(path, rep.Clock)
+				}
 				if o.ckptKeep > 0 {
 					rep.Checkpoints, err = pruneCheckpoints(o.ckptDir, o.ckptKeep, rep.Checkpoints)
 					if err != nil {

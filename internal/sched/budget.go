@@ -33,6 +33,16 @@
 // regime only arises when the worker pool is sized past the budget; the
 // default pool (GOMAXPROCS workers) with the default budget (GOMAXPROCS
 // cores) never enters it.
+//
+// Tenancy (AcquireClaim) makes the division two-level: leases tagged with
+// a tenant form a group, cores are water-filled FAIRLY across the groups
+// first — each group's running total grows one core at a time, lowest
+// total first, regardless of how many jobs the group holds or what their
+// priorities are — and only then does priority order the division *within*
+// a group. A tenant cap (Claim.TenantCores) bounds its group's collective
+// share; capped-out surplus flows to the other groups. Untagged leases
+// (plain Acquire) all share one implicit group, which reduces exactly to
+// the single-level arithmetic above.
 package sched
 
 import (
@@ -88,6 +98,40 @@ func (b *CoreBudget) Held() int {
 	return b.heldLocked()
 }
 
+// HeldByTenant returns the currently claimed shares summed per tenant tag
+// (untagged leases under "") — the per-tenant core-usage gauge a control
+// plane exports.
+func (b *CoreBudget) HeldByTenant() map[string]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int)
+	for _, l := range b.leases {
+		if l.held > 0 {
+			out[l.tenant] += l.held
+		}
+	}
+	return out
+}
+
+// Claim describes one lease acquisition: who is asking (the tenant tag and
+// its collective cap), how urgent it is within its tenant, and the per-
+// lease share bounds. The zero Claim is a plain untenanted, unbounded
+// acquire.
+type Claim struct {
+	// Tenant groups this lease for the two-level division: cores are
+	// fair-shared across tenant groups before priority splits a group's
+	// total among its members. "" joins the implicit default group.
+	Tenant string
+	// TenantCores caps the group's collective share (0 = uncapped). When
+	// members disagree — quotas reconfigured between submissions — the
+	// smallest positive cap wins.
+	TenantCores int
+	// Priority orders the within-group remainder (higher first).
+	Priority int
+	// Min/Max are the per-lease share bounds of AcquireBounded.
+	Min, Max int
+}
+
 // Acquire registers a live job with the given dispatch priority and blocks
 // until the lease holds at least one core (see the package comment for the
 // claim rules). It returns the context's error if ctx is cancelled while
@@ -95,6 +139,27 @@ func (b *CoreBudget) Held() int {
 // of AcquireAll: the grant and cancellation semantics are identical.
 func (b *CoreBudget) Acquire(ctx context.Context, priority int) (*Lease, error) {
 	return b.AcquireBounded(ctx, priority, 0, 0)
+}
+
+// AcquireClaim is the full-surface acquire: tenant tag, tenant cap,
+// priority and share bounds in one Claim. The stream and batch schedulers
+// call this for tenant-tagged jobs; everything else is a convenience
+// wrapper over it.
+func (b *CoreBudget) AcquireClaim(ctx context.Context, c Claim) (*Lease, error) {
+	if c.Min < 0 || c.Max < 0 {
+		return nil, fmt.Errorf("sched: negative worker bound min=%d max=%d", c.Min, c.Max)
+	}
+	if c.Max > 0 && (c.Max < c.Min || c.Max < 1) {
+		return nil, fmt.Errorf("sched: worker bound max=%d below min=%d", c.Max, c.Min)
+	}
+	if c.TenantCores < 0 {
+		return nil, fmt.Errorf("sched: negative tenant core cap %d", c.TenantCores)
+	}
+	leases, err := b.acquire(ctx, 1, c)
+	if err != nil {
+		return nil, err
+	}
+	return leases[0], nil
 }
 
 // AcquireBounded is Acquire with per-lease share bounds: the rebalancer
@@ -115,7 +180,7 @@ func (b *CoreBudget) AcquireBounded(ctx context.Context, priority, min, max int)
 	if max > 0 && (max < min || max < 1) {
 		return nil, fmt.Errorf("sched: worker bound max=%d below min=%d", max, min)
 	}
-	leases, err := b.acquire(ctx, 1, priority, min, max)
+	leases, err := b.acquire(ctx, 1, Claim{Priority: priority, Min: min, Max: max})
 	if err != nil {
 		return nil, err
 	}
@@ -132,25 +197,29 @@ func (b *CoreBudget) AcquireBounded(ctx context.Context, priority, min, max int)
 // before anyone claims. Cancelling ctx while waiting undoes the whole
 // registration.
 func (b *CoreBudget) AcquireAll(ctx context.Context, n, priority int) ([]*Lease, error) {
-	return b.acquire(ctx, n, priority, 0, 0)
+	return b.acquire(ctx, n, Claim{Priority: priority})
 }
 
-// acquire implements Acquire/AcquireBounded/AcquireAll: register, rebalance,
-// block until granted or cancelled.
-func (b *CoreBudget) acquire(ctx context.Context, n, priority, min, max int) ([]*Lease, error) {
+// acquire implements the Acquire* family: register, rebalance, block until
+// granted or cancelled.
+func (b *CoreBudget) acquire(ctx context.Context, n int, c Claim) ([]*Lease, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("sched: group acquire of %d leases", n)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if min > b.total {
+	if c.Min > b.total {
 		// A floor the machine cannot supply degrades to the machine: the
 		// lease simply always holds every core it can get.
-		min = b.total
+		c.Min = b.total
 	}
 	leases := make([]*Lease, n)
 	for i := range leases {
-		leases[i] = &Lease{b: b, priority: priority, seq: b.seq, min: min, max: max}
+		leases[i] = &Lease{
+			b: b, priority: c.Priority, seq: b.seq,
+			min: c.Min, max: c.Max,
+			tenant: c.Tenant, tenantCap: c.TenantCores,
+		}
 		b.seq++
 		b.leases = append(b.leases, leases[i])
 	}
@@ -217,67 +286,139 @@ func (b *CoreBudget) removeLocked(l *Lease) {
 	b.rebalanceLocked()
 }
 
-// rebalanceLocked recomputes every live lease's target share by bounded
-// water-filling: each lease starts at its floor (max(1, min)), then the
-// remaining cores are granted one at a time to the lease with the lowest
+// tenantGroup is the rebalancer's view of one tenant's leases: the members
+// in within-group dispatch order, the collective cap, and the running total
+// of targets the across-group water-fill grows.
+type tenantGroup struct {
+	members []*Lease // sorted priority desc, then seq asc
+	cap     int      // smallest positive member tenantCap; 0 = uncapped
+	total   int      // sum of member targets so far
+}
+
+// growable reports whether the across-group water-fill may give this group
+// another core: the group cap is not reached and some member can still grow.
+func (g *tenantGroup) growable() bool {
+	if g.cap > 0 && g.total >= g.cap {
+		return false
+	}
+	for _, l := range g.members {
+		if l.max == 0 || l.target < l.max {
+			return true
+		}
+	}
+	return false
+}
+
+// grow gives the group one more core, targeting the member with the lowest
 // current target that is still below its max, ties broken by priority
-// (higher first) then acquisition order. With no bounds set this reproduces
-// the original arithmetic exactly — total/n each, floor one, remainder to
-// the higher-priority (then earlier) leases — because water-filling from a
-// uniform floor is equal division. When the floors alone exceed the budget
-// the min bounds degrade to one (see below); only when the live jobs
-// themselves outnumber the cores does the sum overshoot — one core each,
-// the documented caller-oversubscribed regime. Targets take effect as jobs
-// poll Workers between steps. Callers hold b.mu.
+// (higher first) then acquisition order — the member list is pre-sorted so
+// the first strictly-lowest wins.
+func (g *tenantGroup) grow() {
+	var pick *Lease
+	for _, l := range g.members {
+		if l.max > 0 && l.target >= l.max {
+			continue
+		}
+		if pick == nil || l.target < pick.target {
+			pick = l
+		}
+	}
+	pick.target++
+	g.total++
+}
+
+// rebalanceLocked recomputes every live lease's target share by two-level
+// bounded water-filling. Each lease starts at its floor (max(1, min));
+// the remaining cores are then granted one at a time, first choosing the
+// tenant group with the lowest running total (ties to the earliest-
+// acquired group) — cores divide FAIRLY across tenants no matter how many
+// jobs each tenant runs — and within the chosen group choosing the member
+// with the lowest current target that is still below its max, ties broken
+// by priority (higher first) then acquisition order. A group stops
+// receiving once its tenant cap (or every member's max) is reached; the
+// surplus flows to the other groups. With a single group — all leases
+// untagged, the pre-tenancy world — the group choice is vacuous and this
+// reproduces the original arithmetic exactly: total/n each, floor one,
+// remainder to the higher-priority (then earlier) leases, because
+// water-filling from a uniform floor is equal division. When the floors
+// alone exceed the budget the min bounds degrade to one (see below); only
+// when the live jobs themselves outnumber the cores does the sum
+// overshoot — one core each, the documented caller-oversubscribed regime.
+// Targets take effect as jobs poll Workers between steps. Callers hold
+// b.mu.
 func (b *CoreBudget) rebalanceLocked() {
 	n := len(b.leases)
 	if n == 0 {
 		b.cond.Broadcast()
 		return
 	}
-	order := append([]*Lease(nil), b.leases...)
-	sort.SliceStable(order, func(i, j int) bool {
-		if order[i].priority != order[j].priority {
-			return order[i].priority > order[j].priority
+	// Group by tenant tag; b.leases is in acquisition order, so the groups
+	// slice is ordered by each tenant's first acquisition — the across-group
+	// tiebreak.
+	byTenant := make(map[string]*tenantGroup)
+	var groups []*tenantGroup
+	for _, l := range b.leases {
+		g, ok := byTenant[l.tenant]
+		if !ok {
+			g = &tenantGroup{}
+			byTenant[l.tenant] = g
+			groups = append(groups, g)
 		}
-		return order[i].seq < order[j].seq
-	})
+		g.members = append(g.members, l)
+		if l.tenantCap > 0 && (g.cap == 0 || l.tenantCap < g.cap) {
+			g.cap = l.tenantCap
+		}
+	}
+	for _, g := range groups {
+		sort.SliceStable(g.members, func(i, j int) bool {
+			if g.members[i].priority != g.members[j].priority {
+				return g.members[i].priority > g.members[j].priority
+			}
+			return g.members[i].seq < g.members[j].seq
+		})
+	}
 	// When the floors alone cannot all be covered, min bounds degrade to
 	// the universal floor of one for this division — otherwise a single
 	// min-equal-to-budget lease would keep its full target and every
 	// later Acquire would block for that holder's whole run, breaking the
 	// one-step bounded-wait invariant. Mins come back the moment the live
-	// set shrinks enough to cover them again.
+	// set shrinks enough to cover them again. The degradation is global,
+	// not per-group: floors are a liveness guarantee, and liveness is a
+	// whole-budget property.
 	sumFloors := 0
-	for _, l := range order {
+	for _, l := range b.leases {
 		sumFloors += l.floor()
 	}
 	degradeMins := sumFloors > b.total
 	remaining := b.total
-	for _, l := range order {
-		if degradeMins {
-			l.target = 1
-		} else {
-			l.target = l.floor()
+	for _, g := range groups {
+		g.total = 0
+		for _, l := range g.members {
+			if degradeMins {
+				l.target = 1
+			} else {
+				l.target = l.floor()
+			}
+			g.total += l.target
+			remaining -= l.target
 		}
-		remaining -= l.target
 	}
 	// In the live-jobs-past-budget regime remaining is ≤ 0 and everyone
-	// stays at one core; otherwise water-fill the surplus.
+	// stays at one core; otherwise water-fill the surplus across groups.
 	for remaining > 0 {
-		var pick *Lease
-		for _, l := range order {
-			if l.max > 0 && l.target >= l.max {
+		var pick *tenantGroup
+		for _, g := range groups {
+			if !g.growable() {
 				continue
 			}
-			if pick == nil || l.target < pick.target {
-				pick = l // priority/seq order is the tiebreak: first lowest wins
+			if pick == nil || g.total < pick.total {
+				pick = g // first-acquired group order is the tiebreak
 			}
 		}
 		if pick == nil {
-			break // every lease is capped; surplus cores stay idle
+			break // every group is capped; surplus cores stay idle
 		}
-		pick.target++
+		pick.grow()
 		remaining--
 	}
 	// Shrunk targets free cores only when their holders next poll, but
@@ -289,13 +430,15 @@ func (b *CoreBudget) rebalanceLocked() {
 // runner.WorkerLease: the runner polls Workers between steps and applies
 // the share to solvers implementing runner.WorkerBudgeted.
 type Lease struct {
-	b        *CoreBudget
-	priority int
-	seq      int
-	min, max int // per-lease share bounds (0 = unset); see AcquireBounded
-	target   int // allocator's goal share, set by rebalance
-	held     int // claimed share — what Workers reports
-	released bool
+	b         *CoreBudget
+	priority  int
+	seq       int
+	min, max  int    // per-lease share bounds (0 = unset); see AcquireBounded
+	tenant    string // fair-share group tag ("" = implicit default group)
+	tenantCap int    // collective group cap carried by this lease (0 = none)
+	target    int    // allocator's goal share, set by rebalance
+	held      int    // claimed share — what Workers reports
+	released  bool
 }
 
 // floor is the smallest target the rebalancer may assign this lease: one

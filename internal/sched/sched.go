@@ -142,6 +142,14 @@ type Job struct {
 	// semantics. Ignored without WithCoreBudget.
 	MinWorkers int
 	MaxWorkers int
+	// Tenant tags this job's core lease with a fair-share group: the
+	// budget divides cores fairly across tenants before Priority orders
+	// jobs within one (see CoreBudget's package comment). Empty joins the
+	// implicit default group. Ignored without WithCoreBudget.
+	Tenant string
+	// TenantCores caps the collective core share of all live jobs carrying
+	// the same Tenant tag (0 = uncapped). Ignored without WithCoreBudget.
+	TenantCores int
 	// Retries overrides the scheduler's WithRetries policy for this job
 	// (nil = use the scheduler default). A pointer so an explicit 0 —
 	// "never retry this job" — is distinguishable from "no override".
@@ -167,6 +175,9 @@ func (j *Job) validate() error {
 	if j.MaxWorkers > 0 && j.MaxWorkers < j.MinWorkers {
 		return fmt.Errorf("sched: job %q: MaxWorkers %d below MinWorkers %d",
 			j.Name, j.MaxWorkers, j.MinWorkers)
+	}
+	if j.TenantCores < 0 {
+		return fmt.Errorf("sched: job %q: negative tenant core cap %d", j.Name, j.TenantCores)
 	}
 	if j.Retries != nil && *j.Retries < 0 {
 		return fmt.Errorf("sched: job %q: retry override %d must be non-negative", j.Name, *j.Retries)
@@ -598,8 +609,14 @@ func attemptJob(ctx context.Context, o *options, budget *CoreBudget, job Job, de
 		// Acquire before the factory runs, so a heavy construction (IC
 		// generation) does not start until the job holds cores; the wait is
 		// cancellable and bounded by one step of a running job. The job's
-		// worker bounds ride into the allocator here.
-		l, err := budget.AcquireBounded(ctx, job.Priority, job.MinWorkers, job.MaxWorkers)
+		// worker bounds and tenant tag ride into the allocator here.
+		l, err := budget.AcquireClaim(ctx, Claim{
+			Tenant:      job.Tenant,
+			TenantCores: job.TenantCores,
+			Priority:    job.Priority,
+			Min:         job.MinWorkers,
+			Max:         job.MaxWorkers,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -18,12 +18,34 @@
 // Diagnostics ride the runner's async observer pipeline (value snapshots
 // off the hot step loop, DropOldest back-pressure), so a slow or absent
 // SSE client never stalls a solver. Shutdown is graceful: Drain stops
-// intake (submissions get 503), lets queued and running jobs finish —
-// checkpointing as they go — until the deadline, then cancels the
-// remainder through the scheduler's own cancellation path and flushes
-// every result. The paper's campaigns are hand-launched one-shot jobs;
-// this is the always-on shape (SK-Gd's real-time monitor is the exemplar)
-// the ROADMAP's service north star asks for.
+// intake (submissions get 503 with Retry-After), lets queued and running
+// jobs finish — checkpointing as they go — until the deadline, then
+// cancels the remainder through the scheduler's own cancellation path and
+// flushes every result. The paper's campaigns are hand-launched one-shot
+// jobs; this is the always-on shape (SK-Gd's real-time monitor is the
+// exemplar) the ROADMAP's service north star asks for.
+//
+// Durability (Config.StoreDir) journals every submission's lifecycle into
+// an append-only store: the canonical spec bytes at submission, each
+// attempt start, each checkpoint write, and the terminal outcome. On the
+// next start the server replays the journal and re-queues every unfinished
+// job under its original id; because a recovered job's name — and so its
+// checkpoint directory — derives from the same canonical spec, the
+// scheduler's restore path resumes it from its newest snapshot instead of
+// re-running it. A shutdown cancellation is deliberately NOT journaled as
+// terminal — replay IS the recovery path — while a client's DELETE is
+// journaled at cancel time, so a cancelled job stays cancelled across a
+// crash.
+//
+// Tenancy (Config.Tenants) authenticates every /v1 request against a
+// bearer-key registry: unknown or missing keys get 401, another tenant's
+// jobs are invisible in listings and 403 on direct access, and POST
+// /v1/jobs is admission-controlled per tenant — a token-bucket rate limit
+// and a queue quota, both answered with 429 plus Retry-After. The
+// tenant's core quota rides into the scheduler as a sched.Claim, where the
+// CoreBudget divides cores fairly across tenants before priority orders
+// jobs within one. /healthz and /metrics stay unauthenticated: they are
+// the probe surface infrastructure scrapes without credentials.
 package serve
 
 import (
@@ -45,6 +67,8 @@ import (
 	"vlasov6d/internal/runner"
 	"vlasov6d/internal/sched"
 	"vlasov6d/internal/snapio"
+	"vlasov6d/internal/store"
+	"vlasov6d/internal/tenant"
 )
 
 // Config assembles a Server.
@@ -75,14 +99,27 @@ type Config struct {
 	// An always-on daemon accepts work indefinitely; evicting the oldest
 	// finished jobs keeps memory and GET /v1/jobs bounded.
 	History int
+	// StoreDir enables the durable job journal (empty = in-memory only).
+	// On start the server replays it and re-queues unfinished jobs; see
+	// the package comment.
+	StoreDir string
+	// Tenants enables bearer-key authentication and per-tenant admission
+	// control on the /v1 surface (nil = open access, no tenancy).
+	Tenants *tenant.Registry
 }
 
 // jobEntry is the server-side record of one submission: the spec it came
-// from, the SSE subscribers watching it, and its terminal result.
+// from, the SSE subscribers watching it, and its terminal result. The id
+// is the external (and journal) id — stable across restarts — while sid is
+// the stream's session-local submission id.
 type jobEntry struct {
 	id        int
+	sid       int
 	spec      catalog.JobSpec
+	tenant    string // owning tenant name ("" in open mode)
 	submitted time.Time
+	queuedNow bool // currently counted in the tenant queue-depth gauge
+	cancelled bool // client DELETE observed (terminal already journaled)
 	subs      map[chan sseEvent]struct{}
 	result    *sched.Result // non-nil once terminal
 }
@@ -100,23 +137,30 @@ type sseEvent struct {
 type Server struct {
 	cfg    Config
 	stream *sched.Stream
+	store  *store.Store // nil without StoreDir
 	cancel context.CancelFunc
 	start  time.Time
 
 	mu       sync.Mutex
-	jobs     map[int]*jobEntry
-	terminal []int // terminal entry ids oldest-first — the eviction queue
+	jobs     map[int]*jobEntry // keyed by external id
+	byStream map[int]int       // live stream id → external id
+	queued   map[string]int    // per-tenant queued (not yet running) jobs
+	nextID   int               // external id counter when no store persists one
+	terminal []int             // terminal entry ids oldest-first — the eviction queue
 	draining bool
 
 	// counters, guarded by mu: the /metrics surface.
-	submitted, completed, failed, cancelled, retried int64
+	submitted, completed, failed, cancelled, retried, recovered int64
 
-	drained chan struct{} // closed when the stream's results are flushed
+	drained   chan struct{} // closed when the stream's results are flushed
+	storeOnce sync.Once     // Close/Drain both finalise the journal
 }
 
 // New starts the control plane: the stream's worker pool is live when New
-// returns. ctx bounds the whole service — cancelling it is the fast
-// shutdown (running jobs stop mid-run); prefer Drain for the graceful one.
+// returns, and — with a StoreDir — every journaled unfinished job is
+// already re-queued. ctx bounds the whole service — cancelling it is the
+// fast shutdown (running jobs stop mid-run); prefer Drain for the graceful
+// one.
 func New(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.Catalog == nil {
 		return nil, fmt.Errorf("serve: nil catalog")
@@ -129,11 +173,21 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	}
 	sctx, cancel := context.WithCancel(ctx)
 	s := &Server{
-		cfg:     cfg,
-		cancel:  cancel,
-		start:   time.Now(),
-		jobs:    make(map[int]*jobEntry),
-		drained: make(chan struct{}),
+		cfg:      cfg,
+		cancel:   cancel,
+		start:    time.Now(),
+		jobs:     make(map[int]*jobEntry),
+		byStream: make(map[int]int),
+		queued:   make(map[string]int),
+		drained:  make(chan struct{}),
+	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = st
 	}
 	opts := []sched.Option{
 		sched.WithNotify(s.onUpdate),
@@ -155,11 +209,75 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	stream, err := sched.NewStream(sctx, opts...)
 	if err != nil {
 		cancel()
+		s.closeStore()
 		return nil, err
 	}
 	s.stream = stream
 	go s.consumeResults()
+	if s.store != nil {
+		s.recoverJobs()
+	}
 	return s, nil
+}
+
+// closeStore finalises the journal exactly once (Close and Drain may both
+// run, in either order).
+func (s *Server) closeStore() {
+	s.storeOnce.Do(func() {
+		if s.store != nil {
+			s.store.Close()
+		}
+	})
+}
+
+// recoverJobs re-queues every journaled unfinished job into the stream
+// under its original external id. This is resumption, not re-execution:
+// the recovered job's name (and so its checkpoint directory) derives from
+// the same canonical spec, so the scheduler's restore path picks up the
+// newest snapshot the previous life wrote. A job whose spec no longer
+// resolves — catalog changed across the restart — is journaled failed
+// rather than wedging recovery.
+func (s *Server) recoverJobs() {
+	for _, j := range s.store.Pending() {
+		var spec catalog.JobSpec
+		if err := json.Unmarshal(j.Spec, &spec); err != nil {
+			s.store.Terminal(j.ID, "failed", "journaled spec unreadable: "+err.Error())
+			continue
+		}
+		job, err := s.cfg.Catalog.Job(spec)
+		if err != nil {
+			s.store.Terminal(j.ID, "failed", "journaled spec no longer resolves: "+err.Error())
+			continue
+		}
+		job.Tenant = j.Tenant
+		if s.cfg.Tenants != nil {
+			// Quotas are re-read from the current registry: the key file is
+			// the live source of truth, the journal only remembers ownership.
+			if tn, ok := s.cfg.Tenants.ByName(j.Tenant); ok {
+				job.TenantCores = tn.MaxCores
+			}
+		}
+		entry := &jobEntry{
+			spec:      spec,
+			tenant:    j.Tenant,
+			submitted: j.Submitted,
+			subs:      make(map[chan sseEvent]struct{}),
+		}
+		s.attach(&job, entry)
+		s.mu.Lock()
+		sid, err := s.stream.SubmitID(job)
+		if err != nil {
+			s.mu.Unlock()
+			s.store.Terminal(j.ID, "failed", "recovery resubmission rejected: "+err.Error())
+			continue
+		}
+		entry.id, entry.sid, entry.queuedNow = j.ID, sid, true
+		s.jobs[j.ID] = entry
+		s.byStream[sid] = j.ID
+		s.queued[j.Tenant]++
+		s.recovered++
+		s.mu.Unlock()
+	}
 }
 
 // consumeResults drains the stream's Results channel for the server's
@@ -178,14 +296,37 @@ func (s *Server) consumeResults() {
 		case sched.Cancelled:
 			s.cancelled++
 		}
-		if e, ok := s.jobs[r.ID]; ok {
+		if eid, ok := s.byStream[r.ID]; ok {
+			e := s.jobs[eid]
 			e.result = &r
+			delete(s.byStream, r.ID)
+			if e.queuedNow {
+				e.queuedNow = false
+				s.queued[e.tenant]--
+			}
+			if s.store != nil {
+				// Done and Failed are journaled terminal; a user DELETE was
+				// journaled at cancel time. A shutdown cancellation is the
+				// one outcome that must NOT reach the journal: the job stays
+				// pending there, and replaying it on the next start IS the
+				// recovery path.
+				switch r.Status {
+				case sched.Done:
+					s.store.Terminal(eid, "done", "")
+				case sched.Failed:
+					msg := ""
+					if r.Err != nil {
+						msg = r.Err.Error()
+					}
+					s.store.Terminal(eid, "failed", msg)
+				}
+			}
 			s.publishLocked(e, sseEvent{Type: "done", Data: statusBody(e, s.snapshotFor(r.ID))})
 			// Mirror the stream's history bound: evict the oldest terminal
 			// entries so an always-on daemon's memory stays bounded.
 			// Evicted entries disappear from the map only — attached SSE
 			// handlers keep their pointer and still see the result.
-			s.terminal = append(s.terminal, r.ID)
+			s.terminal = append(s.terminal, eid)
 			for len(s.terminal) > s.cfg.History {
 				delete(s.jobs, s.terminal[0])
 				s.terminal = s.terminal[1:]
@@ -196,27 +337,42 @@ func (s *Server) consumeResults() {
 	close(s.drained)
 }
 
-// snapshotFor reads the scheduler's view of one submission (zero-value
-// snapshot if the id is unknown — callers pair it with their own entry).
-func (s *Server) snapshotFor(id int) sched.JobSnapshot {
-	js, _ := s.stream.Job(id)
+// snapshotFor reads the scheduler's view of one submission by stream id
+// (zero-value snapshot if the id is unknown — callers pair it with their
+// own entry).
+func (s *Server) snapshotFor(sid int) sched.JobSnapshot {
+	js, _ := s.stream.Job(sid)
 	return js
 }
 
 // onUpdate receives every scheduler status transition (serialised by the
-// stream) and forwards it to the job's SSE subscribers.
+// stream), maintains the journal's attempt markers and the tenant
+// queue-depth bookkeeping, and forwards the transition to the job's SSE
+// subscribers.
 func (s *Server) onUpdate(u sched.Update) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if u.Status == sched.Retrying {
 		s.retried++
 	}
-	e, ok := s.jobs[u.Index]
+	eid, ok := s.byStream[u.Index]
 	if !ok {
 		return
 	}
+	e := s.jobs[eid]
+	switch {
+	case u.Status == sched.Queued && !e.queuedNow:
+		e.queuedNow = true
+		s.queued[e.tenant]++
+	case u.Status != sched.Queued && e.queuedNow:
+		e.queuedNow = false
+		s.queued[e.tenant]--
+	}
+	if u.Status == sched.Running && s.store != nil {
+		s.store.Started(eid, u.Attempt)
+	}
 	body := map[string]any{
-		"id":      u.Index,
+		"id":      eid,
 		"name":    u.Name,
 		"status":  u.Status.String(),
 		"attempt": u.Attempt,
@@ -225,6 +381,34 @@ func (s *Server) onUpdate(u sched.Update) {
 		body["error"] = u.Err.Error()
 	}
 	s.publishLocked(e, sseEvent{Type: "status", Data: body})
+}
+
+// attach wires the per-submission runner options onto a job: the lossy
+// diagnostics pipe every submission gets, and — when the server is durable
+// — the checkpoint notification that journals each snapshot's clock, which
+// is what a restart consults to promise "resumes from the newest
+// checkpoint".
+func (s *Server) attach(job *sched.Job, entry *jobEntry) {
+	job.Opts = append(job.Opts, runner.WithAsyncObserver(
+		func(step int, d runner.Diagnostics) error {
+			s.publishDiag(entry, step, d)
+			return nil
+		},
+		runner.WithAsyncBuffer(s.cfg.DiagBuffer),
+		runner.WithBackpressure(runner.DropOldest),
+	))
+	if s.store != nil {
+		job.Opts = append(job.Opts, runner.WithCheckpointNotify(
+			func(path string, clock float64) {
+				// entry.id is assigned under s.mu during registration; a
+				// checkpoint cannot fire before the job starts, but take the
+				// lock anyway so the read is ordered after the write.
+				s.mu.Lock()
+				id := entry.id
+				s.mu.Unlock()
+				s.store.CheckpointWritten(id, clock)
+			}))
+	}
 }
 
 // publishLocked sends an event to every subscriber of a job without
@@ -284,6 +468,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining = true
 	s.mu.Unlock()
 	s.stream.Close()
+	defer s.closeStore()
 	select {
 	case <-s.drained:
 		return nil
@@ -295,6 +480,8 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close is the fast shutdown: cancel everything and wait for the flush.
+// With a store, in-flight jobs are NOT journaled terminal — the next Open
+// over the same StoreDir replays and resumes them.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.draining = true
@@ -302,9 +489,11 @@ func (s *Server) Close() {
 	s.stream.Close()
 	s.cancel()
 	<-s.drained
+	s.closeStore()
 }
 
-// Handler returns the control plane's routes.
+// Handler returns the control plane's routes, wrapped in bearer-key
+// authentication when a tenant registry is configured.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -317,7 +506,46 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	if s.cfg.Tenants == nil {
+		return mux
+	}
+	return s.withAuth(mux)
+}
+
+// withAuth authenticates every /v1 request against the key registry and
+// hangs the resolved tenant on the request context. /healthz and /metrics
+// pass through: they are the probe surface infrastructure scrapes without
+// credentials, and they expose no per-job data.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key, ok := bearerToken(r)
+		if !ok {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="vlasovd"`)
+			writeErr(w, http.StatusUnauthorized, fmt.Errorf("serve: missing bearer token"))
+			return
+		}
+		tn, ok := s.cfg.Tenants.Lookup(key)
+		if !ok {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="vlasovd", error="invalid_token"`)
+			writeErr(w, http.StatusUnauthorized, fmt.Errorf("serve: unknown bearer token"))
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(tenant.NewContext(r.Context(), tn)))
+	})
+}
+
+// bearerToken extracts the RFC 6750 bearer credential.
+func bearerToken(r *http.Request) (string, bool) {
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) <= len(prefix) || !strings.EqualFold(auth[:len(prefix)], prefix) {
+		return "", false
+	}
+	return auth[len(prefix):], true
 }
 
 // writeJSON writes a JSON response body.
@@ -332,8 +560,37 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-// handleSubmit resolves a JobSpec through the catalog and submits it.
+// writeRetryErr is writeErr plus a Retry-After hint — on every 429 and on
+// the draining 503, so a well-behaved client backs off instead of
+// hammering.
+func writeRetryErr(w http.ResponseWriter, code int, wait time.Duration, err error) {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeErr(w, code, err)
+}
+
+// drainRetryAfter is the Retry-After on draining 503s: long enough to
+// cover a typical restart, short enough that clients notice the new
+// process promptly. The drain deadline itself is the caller's (it lives in
+// the ctx handed to Drain), so the handler cannot derive a sharper bound.
+const drainRetryAfter = 10 * time.Second
+
+// handleSubmit resolves a JobSpec through the catalog, admits it against
+// the tenant's rate limit and queue quota, journals it, and submits it.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tn, _ := tenant.FromContext(r.Context())
+	if tn != nil {
+		// The rate limit gates the request, not just the acceptance — a
+		// flood of malformed specs is still a flood.
+		if ok, wait := tn.Allow(time.Now()); !ok {
+			writeRetryErr(w, http.StatusTooManyRequests, wait,
+				fmt.Errorf("serve: tenant %q rate-limited", tn.Name))
+			return
+		}
+	}
 	var spec catalog.JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -347,26 +604,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entry := &jobEntry{spec: spec, submitted: time.Now(), subs: make(map[chan sseEvent]struct{})}
-	// The per-job diagnostics pipe: value snapshots delivered off the step
-	// loop, dropped (oldest first) when no SSE client keeps up.
-	job.Opts = append(job.Opts, runner.WithAsyncObserver(
-		func(step int, d runner.Diagnostics) error {
-			s.publishDiag(entry, step, d)
-			return nil
-		},
-		runner.WithAsyncBuffer(s.cfg.DiagBuffer),
-		runner.WithBackpressure(runner.DropOldest),
-	))
+	if tn != nil {
+		entry.tenant = tn.Name
+		// The tenant tag and core quota ride into the scheduler's two-level
+		// fair share: cores divide across tenants before priority divides
+		// within one.
+		job.Tenant = tn.Name
+		job.TenantCores = tn.MaxCores
+	}
+	s.attach(&job, entry)
 	// Registration holds s.mu across SubmitID so the notify callback —
 	// which also takes s.mu — cannot observe the job before its entry
 	// exists, even though a worker may pick it up immediately.
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("serve: draining, not accepting work"))
+		writeRetryErr(w, http.StatusServiceUnavailable, drainRetryAfter,
+			fmt.Errorf("serve: draining, not accepting work"))
 		return
 	}
-	id, err := s.stream.SubmitID(job)
+	if tn != nil && tn.MaxQueued > 0 && s.queued[tn.Name] >= tn.MaxQueued {
+		s.mu.Unlock()
+		writeRetryErr(w, http.StatusTooManyRequests, time.Second,
+			fmt.Errorf("serve: tenant %q queue quota (%d) exhausted", tn.Name, tn.MaxQueued))
+		return
+	}
+	id := s.allocIDLocked()
+	sid, err := s.stream.SubmitID(job)
 	if err != nil {
 		s.mu.Unlock()
 		// A closed or cancelled stream is the service shutting down — the
@@ -374,21 +638,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// rejection is a true conflict with existing state.
 		if errors.Is(err, sched.ErrStreamClosed) ||
 			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			writeErr(w, http.StatusServiceUnavailable, err)
+			writeRetryErr(w, http.StatusServiceUnavailable, drainRetryAfter, err)
 			return
 		}
 		writeErr(w, http.StatusConflict, err)
 		return
 	}
-	entry.id = id
+	entry.id, entry.sid, entry.queuedNow = id, sid, true
 	s.jobs[id] = entry
+	s.byStream[sid] = id
+	s.queued[entry.tenant]++
 	s.submitted++
+	if s.store != nil {
+		// Canonical bytes, so the journal round-trips the spec byte-stably
+		// across write/replay/compact cycles. Canonical cannot fail on a
+		// spec that json-decoded above; a failure here would be a journal
+		// bug, not a client error, so the submission proceeds regardless.
+		if raw, err := spec.Canonical(); err == nil {
+			s.store.Submitted(id, entry.tenant, raw, entry.submitted)
+		}
+	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":     id,
 		"name":   job.Name,
 		"status": sched.Queued.String(),
 	})
+}
+
+// allocIDLocked returns the next external job id: the journal's persistent
+// counter when durable (ids survive restarts and are never reissued), a
+// session counter otherwise. Callers hold s.mu.
+func (s *Server) allocIDLocked() int {
+	if s.store != nil {
+		return s.store.NextID()
+	}
+	id := s.nextID
+	s.nextID++
+	return id
 }
 
 // statusBody renders one submission's status document. A recorded terminal
@@ -416,6 +703,9 @@ func statusBody(e *jobEntry, js sched.JobSnapshot) map[string]any {
 		"priority":  e.spec.Priority,
 		"submitted": e.submitted.UTC().Format(time.RFC3339Nano),
 	}
+	if e.tenant != "" {
+		body["tenant"] = e.tenant
+	}
 	if errMsg != "" {
 		body["error"] = errMsg
 	}
@@ -434,7 +724,11 @@ func statusBody(e *jobEntry, js sched.JobSnapshot) map[string]any {
 	return body
 }
 
-// lookup resolves the {id} path value to the entry and scheduler snapshot.
+// lookup resolves the {id} path value to the entry and scheduler snapshot,
+// enforcing tenant scoping: another tenant's job is 403, not invisible —
+// ids are dense integers, so a 404 would leak nothing an enumeration does
+// not already reveal, and the explicit status is the more debuggable
+// contract.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*jobEntry, sched.JobSnapshot, bool) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
@@ -448,29 +742,41 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*jobEntry, sche
 		writeErr(w, http.StatusNotFound, fmt.Errorf("serve: no job %d", id))
 		return nil, sched.JobSnapshot{}, false
 	}
-	return e, s.snapshotFor(id), true
+	if tn, authed := tenant.FromContext(r.Context()); authed && e.tenant != tn.Name {
+		writeErr(w, http.StatusForbidden, fmt.Errorf("serve: job %d belongs to another tenant", id))
+		return nil, sched.JobSnapshot{}, false
+	}
+	return e, s.snapshotFor(e.sid), true
 }
 
-// handleList reports every retained submission, newest last. The server's
-// own records drive the listing (they, not the stream's bounded history,
-// decide what is still reportable); the scheduler snapshot fills in the
-// live statuses.
+// handleList reports every retained submission, newest last, scoped to the
+// authenticated tenant when tenancy is on. The server's own records drive
+// the listing (they, not the stream's bounded history, decide what is
+// still reportable); the scheduler snapshot fills in the live statuses.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	byID := make(map[int]sched.JobSnapshot)
+	tn, authed := tenant.FromContext(r.Context())
+	bySid := make(map[int]sched.JobSnapshot)
 	for _, js := range s.stream.Snapshot() {
-		byID[js.ID] = js
+		bySid[js.ID] = js
 	}
 	s.mu.Lock()
 	ids := make([]int, 0, len(s.jobs))
-	for id := range s.jobs {
+	for id, e := range s.jobs {
+		if authed && e.tenant != tn.Name {
+			continue
+		}
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
 	out := make([]map[string]any, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, statusBody(s.jobs[id], byID[id]))
+		e := s.jobs[id]
+		out = append(out, statusBody(e, bySid[e.sid]))
 	}
 	depth := s.stream.Pending()
+	if authed {
+		depth = s.queued[tn.Name]
+	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out, "queued": depth})
 }
@@ -487,17 +793,28 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
-// handleCancel cancels one submission (queued or running).
+// handleCancel cancels one submission (queued or running). Unlike a
+// shutdown cancellation, a client's DELETE is journaled terminal at cancel
+// time: the user's decision must survive a crash, not be undone by a
+// recovery replay.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	e, js, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
-	if !s.stream.Cancel(e.id) {
+	if !s.stream.Cancel(e.sid) {
 		writeErr(w, http.StatusConflict,
 			fmt.Errorf("serve: job %d already %s", e.id, js.Status))
 		return
 	}
+	s.mu.Lock()
+	if !e.cancelled {
+		e.cancelled = true
+		if s.store != nil {
+			s.store.Terminal(e.id, "cancelled", "")
+		}
+	}
+	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": e.id, "status": "cancelling"})
 }
 
@@ -518,24 +835,78 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics serves text-format counters (one "name value" per line,
-// Prometheus-style exposition without the type annotations).
+// handleMetrics serves the Prometheus text exposition format (v0.0.4):
+// # HELP/# TYPE annotations per family, counters and gauges, and
+// per-tenant labelled gauges for core usage and queue depth. The sample
+// lines keep the exact names and shapes of the pre-tenancy plain-text
+// endpoint, so existing scrapes and greps continue to match.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	submitted, completed, failed, cancelled, retried :=
-		s.submitted, s.completed, s.failed, s.cancelled, s.retried
+	submitted, completed, failed, cancelled, retried, recovered :=
+		s.submitted, s.completed, s.failed, s.cancelled, s.retried, s.recovered
+	queued := make(map[string]int, len(s.queued))
+	for name, n := range s.queued {
+		queued[name] = n
+	}
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "vlasovd_jobs_submitted_total %d\n", submitted)
-	fmt.Fprintf(w, "vlasovd_jobs_completed_total %d\n", completed)
-	fmt.Fprintf(w, "vlasovd_jobs_failed_total %d\n", failed)
-	fmt.Fprintf(w, "vlasovd_jobs_cancelled_total %d\n", cancelled)
-	fmt.Fprintf(w, "vlasovd_jobs_retried_total %d\n", retried)
-	fmt.Fprintf(w, "vlasovd_queue_depth %d\n", s.stream.Pending())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("vlasovd_jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", submitted)
+	counter("vlasovd_jobs_completed_total", "Jobs that reached Done.", completed)
+	counter("vlasovd_jobs_failed_total", "Jobs that reached Failed.", failed)
+	counter("vlasovd_jobs_cancelled_total", "Jobs that reached Cancelled.", cancelled)
+	counter("vlasovd_jobs_retried_total", "Retry attempts across all jobs.", retried)
+	counter("vlasovd_jobs_recovered_total", "Journaled jobs re-queued at startup.", recovered)
+	gauge("vlasovd_queue_depth", "Jobs queued, not yet dispatched.", s.stream.Pending())
 	if b := s.stream.Budget(); b != nil {
-		fmt.Fprintf(w, "vlasovd_budget_cores_total %d\n", b.Total())
-		fmt.Fprintf(w, "vlasovd_budget_cores_in_use %d\n", b.Held())
-		fmt.Fprintf(w, "vlasovd_budget_jobs_live %d\n", b.Live())
+		gauge("vlasovd_budget_cores_total", "Cores the budget divides.", b.Total())
+		gauge("vlasovd_budget_cores_in_use", "Cores currently claimed by live jobs.", b.Held())
+		gauge("vlasovd_budget_jobs_live", "Live core leases.", b.Live())
+	}
+	// Per-tenant gauges: every registered tenant is emitted (zeros
+	// included, so dashboards see a stable series set), plus any tenant
+	// the journal resurrected that the current key file no longer lists.
+	names := make(map[string]bool)
+	if s.cfg.Tenants != nil {
+		for _, tn := range s.cfg.Tenants.Tenants() {
+			names[tn.Name] = true
+		}
+	}
+	var held map[string]int
+	if b := s.stream.Budget(); b != nil {
+		held = b.HeldByTenant()
+		for name := range held {
+			if name != "" {
+				names[name] = true
+			}
+		}
+	}
+	for name := range queued {
+		if name != "" {
+			names[name] = true
+		}
+	}
+	if len(names) > 0 {
+		ordered := make([]string, 0, len(names))
+		for name := range names {
+			ordered = append(ordered, name)
+		}
+		sort.Strings(ordered)
+		fmt.Fprintf(w, "# HELP vlasovd_tenant_cores_in_use Cores currently claimed by the tenant's jobs.\n")
+		fmt.Fprintf(w, "# TYPE vlasovd_tenant_cores_in_use gauge\n")
+		for _, name := range ordered {
+			fmt.Fprintf(w, "vlasovd_tenant_cores_in_use{tenant=%q} %d\n", name, held[name])
+		}
+		fmt.Fprintf(w, "# HELP vlasovd_tenant_queue_depth The tenant's jobs queued, not yet dispatched.\n")
+		fmt.Fprintf(w, "# TYPE vlasovd_tenant_queue_depth gauge\n")
+		for _, name := range ordered {
+			fmt.Fprintf(w, "vlasovd_tenant_queue_depth{tenant=%q} %d\n", name, queued[name])
+		}
 	}
 }
 
@@ -564,7 +935,7 @@ func (s *Server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
 	sub := make(chan sseEvent, s.cfg.DiagBuffer)
 	s.mu.Lock()
 	if e.result != nil {
-		body := statusBody(e, s.snapshotFor(e.id))
+		body := statusBody(e, s.snapshotFor(e.sid))
 		s.mu.Unlock()
 		writeSSE(w, sseEvent{Type: "done", Data: body})
 		fl.Flush()
@@ -600,7 +971,7 @@ func (s *Server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
 			terminal := e.result != nil
 			var body map[string]any
 			if terminal {
-				body = statusBody(e, s.snapshotFor(e.id))
+				body = statusBody(e, s.snapshotFor(e.sid))
 			}
 			s.mu.Unlock()
 			if terminal {

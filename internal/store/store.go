@@ -1,0 +1,459 @@
+// Package store is the durable half of the control plane: an append-only
+// journal of job lifecycle events that survives a daemon kill. The HTTP
+// layer (internal/serve) keeps its queue in memory — the stream scheduler
+// is deliberately volatile — so without this package a restart forgets
+// every queued and running job, which disqualifies the service for the
+// ROADMAP's always-on exemplar (SK-Gd's real-time monitor: a campaign that
+// must survive process restarts without losing state).
+//
+// The journal records four event kinds per job, keyed by a persistent job
+// id that outlives any single process:
+//
+//	submitted   the tenant and the canonical spec JSON (catalog.JobSpec)
+//	started     an attempt began (1-based attempt number)
+//	checkpoint  a snapshot reached disk, with its clock
+//	terminal    the job finished: done, failed, or user-cancelled
+//
+// Records are CRC-framed (length + CRC32 + JSON payload) and fsynced, so a
+// SIGKILL mid-write leaves at worst a torn tail, which Open truncates at
+// the last whole record. Shutdown-driven cancellation is deliberately NOT
+// journaled as terminal — a job cancelled because the daemon died is
+// unfinished work, and replaying it is the whole point.
+//
+// Open replays the journal, then compacts: terminal jobs' records are
+// dropped and the survivors rewritten (atomically, temp + rename), so the
+// file stays proportional to the unfinished set, not the service's entire
+// history. Pending returns the unfinished jobs oldest-first; the control
+// plane re-queues them into the stream and the existing checkpoint-resume
+// machinery (sched's WithJobCheckpoints + the catalog Restore hooks)
+// continues each one from its newest snapshot.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// journalName is the journal file inside the store directory.
+const journalName = "journal.v6dj"
+
+// maxRecordLen bounds a single record frame. A length prefix past it means
+// the frame is garbage (a torn or corrupt header), not a real record.
+const maxRecordLen = 16 << 20
+
+// record is the on-disk payload of one journal frame.
+type record struct {
+	// Type is the event kind: "seq", "submitted", "started", "checkpoint"
+	// or "terminal".
+	Type string `json:"type"`
+	// ID is the persistent job id the event belongs to (all but "seq").
+	ID int `json:"id,omitempty"`
+	// Next seeds the id counter ("seq" records, written by compaction).
+	Next int `json:"next,omitempty"`
+	// Tenant and Spec accompany "submitted".
+	Tenant string          `json:"tenant,omitempty"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	// UnixNano is the submission time ("submitted").
+	UnixNano int64 `json:"unix_nano,omitempty"`
+	// Attempt accompanies "started".
+	Attempt int `json:"attempt,omitempty"`
+	// Clock accompanies "checkpoint".
+	Clock float64 `json:"clock,omitempty"`
+	// Status and Error accompany "terminal".
+	Status string `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// JobState is the replayed state of one journaled job.
+type JobState struct {
+	// ID is the persistent job id (stable across restarts — the handle a
+	// remote client keeps polling after the daemon it submitted to dies).
+	ID int
+	// Tenant names the submitting tenant ("" when the daemon ran open).
+	Tenant string
+	// Spec is the canonical JSON of the submitted catalog.JobSpec, byte
+	// for byte as journaled.
+	Spec json.RawMessage
+	// Submitted is the original submission time.
+	Submitted time.Time
+	// Attempts is the highest started attempt (0 = never dispatched).
+	Attempts int
+	// Checkpoints counts journaled snapshot writes; LastCheckpointClock is
+	// the newest one's clock.
+	Checkpoints         int
+	LastCheckpointClock float64
+	// Terminal reports whether the job reached a journaled final state;
+	// Status/Error describe it ("done", "failed", "cancelled").
+	Terminal bool
+	Status   string
+	Error    string
+}
+
+// Store is an open journal. All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu   sync.Mutex
+	f    *os.File
+	jobs map[int]*JobState
+	next int
+}
+
+// Open replays (and compacts) the journal under dir, creating the
+// directory and an empty journal when none exists. A torn tail — the
+// half-written record a SIGKILL can leave — is truncated at the last whole
+// record; everything before it replays normally.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, jobs: make(map[int]*JobState)}
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	if err := s.compact(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path is the journal file path.
+func (s *Store) path() string { return filepath.Join(s.dir, journalName) }
+
+// replay reads every whole record, truncating a torn or corrupt tail.
+func (s *Store) replay() error {
+	f, err := os.OpenFile(s.path(), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	good := int64(0)
+	r := &countingReader{r: f}
+	for {
+		rec, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// A torn tail (SIGKILL mid-append) or a corrupt frame: keep
+			// everything up to the last whole record, drop the rest. The
+			// journal is an intent log — a half-written event never
+			// happened.
+			break
+		}
+		good = r.n
+		s.apply(rec)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return fmt.Errorf("store: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.f = f
+	return nil
+}
+
+// apply folds one record into the replay state.
+func (s *Store) apply(rec record) {
+	switch rec.Type {
+	case "seq":
+		if rec.Next > s.next {
+			s.next = rec.Next
+		}
+	case "submitted":
+		s.jobs[rec.ID] = &JobState{
+			ID:        rec.ID,
+			Tenant:    rec.Tenant,
+			Spec:      rec.Spec,
+			Submitted: time.Unix(0, rec.UnixNano),
+		}
+		if rec.ID >= s.next {
+			s.next = rec.ID + 1
+		}
+	case "started":
+		if j := s.jobs[rec.ID]; j != nil && rec.Attempt > j.Attempts {
+			j.Attempts = rec.Attempt
+		}
+	case "checkpoint":
+		if j := s.jobs[rec.ID]; j != nil {
+			j.Checkpoints++
+			if rec.Clock > j.LastCheckpointClock {
+				j.LastCheckpointClock = rec.Clock
+			}
+		}
+	case "terminal":
+		if j := s.jobs[rec.ID]; j != nil {
+			j.Terminal = true
+			j.Status = rec.Status
+			j.Error = rec.Error
+		}
+	}
+	// Unknown types are skipped: an older daemon replaying a newer journal
+	// must not lose the records it does understand.
+}
+
+// compact rewrites the journal to just the unfinished jobs (plus the id
+// seed), atomically, and drops terminal jobs from memory. The journal's
+// size is then proportional to the live campaign, not the daemon's whole
+// history.
+func (s *Store) compact() error {
+	tmp := s.path() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	write := func(rec record) error {
+		_, err := writeRecord(f, rec)
+		return err
+	}
+	err = write(record{Type: "seq", Next: s.next})
+	for _, j := range s.pendingLocked() {
+		if err != nil {
+			break
+		}
+		err = write(record{Type: "submitted", ID: j.ID, Tenant: j.Tenant,
+			Spec: j.Spec, UnixNano: j.Submitted.UnixNano()})
+		if err == nil && j.Attempts > 0 {
+			err = write(record{Type: "started", ID: j.ID, Attempt: j.Attempts})
+		}
+		if err == nil && j.Checkpoints > 0 {
+			err = write(record{Type: "checkpoint", ID: j.ID, Clock: j.LastCheckpointClock})
+		}
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmp, s.path()); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	s.f.Close()
+	f, err = os.OpenFile(s.path(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen after compact: %w", err)
+	}
+	s.f = f
+	for id, j := range s.jobs {
+		if j.Terminal {
+			delete(s.jobs, id)
+		}
+	}
+	// The compacted replay state folded multiple checkpoint events into
+	// one; keep the count consistent with what the rewritten journal holds.
+	for _, j := range s.jobs {
+		if j.Checkpoints > 1 {
+			j.Checkpoints = 1
+		}
+	}
+	return nil
+}
+
+// pendingLocked returns the unfinished jobs oldest-first. Callers hold
+// s.mu (or, during Open, exclusive access).
+func (s *Store) pendingLocked() []*JobState {
+	out := make([]*JobState, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if !j.Terminal {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Pending returns a copy of every unfinished job's state, oldest first —
+// the work a restarting control plane re-queues.
+func (s *Store) Pending() []JobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := s.pendingLocked()
+	out := make([]JobState, len(ps))
+	for i, j := range ps {
+		out[i] = *j
+		out[i].Spec = append(json.RawMessage(nil), j.Spec...)
+	}
+	return out
+}
+
+// NextID allocates the next persistent job id. The allocation itself is
+// durable only once Submitted journals the id; a crash between the two
+// burns the number, which is fine — ids are unique, not dense.
+func (s *Store) NextID() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.next
+	s.next++
+	return id
+}
+
+// Submitted journals a new job: its id, tenant and canonical spec bytes.
+// The spec is stored verbatim — replay hands back the same bytes, so a
+// spec round-trips the journal byte-stably.
+func (s *Store) Submitted(id int, tenantName string, spec json.RawMessage, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id >= s.next {
+		s.next = id + 1
+	}
+	if err := s.appendLocked(record{Type: "submitted", ID: id, Tenant: tenantName,
+		Spec: spec, UnixNano: at.UnixNano()}); err != nil {
+		return err
+	}
+	s.jobs[id] = &JobState{ID: id, Tenant: tenantName,
+		Spec: append(json.RawMessage(nil), spec...), Submitted: at}
+	return nil
+}
+
+// Started journals the beginning of an attempt.
+func (s *Store) Started(id, attempt int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(record{Type: "started", ID: id, Attempt: attempt}); err != nil {
+		return err
+	}
+	if j := s.jobs[id]; j != nil && attempt > j.Attempts {
+		j.Attempts = attempt
+	}
+	return nil
+}
+
+// CheckpointWritten journals a snapshot reaching disk at the given clock.
+func (s *Store) CheckpointWritten(id int, clock float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(record{Type: "checkpoint", ID: id, Clock: clock}); err != nil {
+		return err
+	}
+	if j := s.jobs[id]; j != nil {
+		j.Checkpoints++
+		if clock > j.LastCheckpointClock {
+			j.LastCheckpointClock = clock
+		}
+	}
+	return nil
+}
+
+// Terminal journals a job's final state ("done", "failed" or "cancelled").
+// Shutdown-driven cancellation must NOT be journaled here: an unfinished
+// job with no terminal record is exactly what a restart replays.
+func (s *Store) Terminal(id int, status, errMsg string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(record{Type: "terminal", ID: id, Status: status, Error: errMsg}); err != nil {
+		return err
+	}
+	if j := s.jobs[id]; j != nil {
+		j.Terminal = true
+		j.Status = status
+		j.Error = errMsg
+	}
+	return nil
+}
+
+// appendLocked frames, writes and fsyncs one record. Callers hold s.mu.
+func (s *Store) appendLocked(rec record) error {
+	if s.f == nil {
+		return fmt.Errorf("store: closed")
+	}
+	if _, err := writeRecord(s.f, rec); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file. Appends after Close fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// writeRecord frames one record: u32-LE payload length, u32-LE CRC32
+// (IEEE) of the payload, payload JSON.
+func writeRecord(w io.Writer, rec record) (int, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(payload)
+	return 8 + n, err
+}
+
+// readRecord reads one frame. io.EOF means a clean end; any other error
+// means a torn or corrupt frame starting at the current offset.
+func readRecord(r io.Reader) (record, error) {
+	var rec record
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return rec, fmt.Errorf("store: torn frame header")
+		}
+		return rec, err // io.EOF: clean end
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > maxRecordLen {
+		return rec, fmt.Errorf("store: frame length %d exceeds limit", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return rec, fmt.Errorf("store: torn frame payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return rec, fmt.Errorf("store: frame CRC mismatch")
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("store: frame payload: %w", err)
+	}
+	return rec, nil
+}
+
+// countingReader tracks how many bytes have been consumed, so replay knows
+// where the last whole record ended.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,197 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+
+	spec := json.RawMessage(`{"scenario":"landau","params":{"nv":64,"nx":32}}`)
+	at := time.Unix(1700000000, 123456789)
+	id := s.NextID()
+	if id != 0 {
+		t.Fatalf("first id = %d", id)
+	}
+	if err := s.Submitted(id, "alice", spec, at); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Started(id, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckpointWritten(id, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckpointWritten(id, 5.0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// A fresh Open replays everything: the job is pending (no terminal
+	// record), its spec byte-identical, its progress markers intact.
+	s2 := openStore(t, dir)
+	pending := s2.Pending()
+	if len(pending) != 1 {
+		t.Fatalf("pending = %d jobs", len(pending))
+	}
+	j := pending[0]
+	if j.ID != 0 || j.Tenant != "alice" || j.Attempts != 1 {
+		t.Fatalf("replayed state: %+v", j)
+	}
+	if !bytes.Equal(j.Spec, spec) {
+		t.Fatalf("spec did not round-trip byte-stably: %s vs %s", j.Spec, spec)
+	}
+	if !j.Submitted.Equal(at) {
+		t.Fatalf("submitted time %v, want %v", j.Submitted, at)
+	}
+	if j.LastCheckpointClock != 5.0 || j.Checkpoints == 0 {
+		t.Fatalf("checkpoint state: %+v", j)
+	}
+	if next := s2.NextID(); next != 1 {
+		t.Fatalf("NextID after replay = %d", next)
+	}
+}
+
+func TestTerminalJobsCompactedAway(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	spec := json.RawMessage(`{"scenario":"landau"}`)
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		id := s.NextID()
+		if err := s.Submitted(id, "", spec, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Terminal(0, "done", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Terminal(2, "failed", "boom"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	sizeBefore := journalSize(t, dir)
+
+	// Reopen: only job 1 survives, the journal shrank (compaction dropped
+	// the terminal jobs' records), and the id counter did not rewind.
+	s2 := openStore(t, dir)
+	pending := s2.Pending()
+	if len(pending) != 1 || pending[0].ID != 1 {
+		t.Fatalf("pending after compaction: %+v", pending)
+	}
+	if got := journalSize(t, dir); got >= sizeBefore {
+		t.Fatalf("journal did not shrink: %d -> %d bytes", sizeBefore, got)
+	}
+	if next := s2.NextID(); next != 3 {
+		t.Fatalf("NextID after compaction = %d (terminal ids must not be reissued)", next)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	spec := json.RawMessage(`{"scenario":"landau"}`)
+	if err := s.Submitted(s.NextID(), "", spec, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submitted(s.NextID(), "", spec, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a SIGKILL mid-append: a torn frame (header promising more
+	// bytes than exist) at the tail.
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x00, 0x00, 0x00, 0x12, 0x34}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openStore(t, dir)
+	if got := len(s2.Pending()); got != 2 {
+		t.Fatalf("pending after torn tail = %d, want 2", got)
+	}
+	// The torn bytes are gone: appending and replaying again works.
+	if err := s2.Submitted(s2.NextID(), "", spec, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := openStore(t, dir)
+	if got := len(s3.Pending()); got != 3 {
+		t.Fatalf("pending after re-append = %d, want 3", got)
+	}
+}
+
+func TestCorruptFrameStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	spec := json.RawMessage(`{"scenario":"landau"}`)
+	if err := s.Submitted(s.NextID(), "", spec, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip a payload byte: the CRC catches it and replay keeps only the
+	// records before the damage (here: none after).
+	path := filepath.Join(dir, journalName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, dir)
+	// The first frame is the compaction seq record; the damaged submitted
+	// frame is dropped.
+	if got := len(s2.Pending()); got != 0 {
+		t.Fatalf("pending after corrupt frame = %d, want 0", got)
+	}
+}
+
+func TestUserCancelIsTerminal(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	id := s.NextID()
+	if err := s.Submitted(id, "", json.RawMessage(`{}`), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Terminal(id, "cancelled", ""); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := openStore(t, dir)
+	if got := len(s2.Pending()); got != 0 {
+		t.Fatalf("user-cancelled job replayed as pending")
+	}
+}
+
+func journalSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	st, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}

@@ -1,0 +1,107 @@
+package tenant
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+const keyFile = `{
+  "tenants": [
+    {"name": "alice", "key": "alice-key-0123", "max_queued": 4, "max_cores": 2,
+     "rate_per_sec": 2, "burst": 2},
+    {"name": "bob", "key": "bob-key-4567"}
+  ]
+}`
+
+func TestParseKeyFile(t *testing.T) {
+	reg, err := Parse(strings.NewReader(keyFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := reg.Lookup("alice-key-0123")
+	if !ok || a.Name != "alice" || a.MaxQueued != 4 || a.MaxCores != 2 {
+		t.Fatalf("alice: %+v ok=%v", a, ok)
+	}
+	b, ok := reg.ByName("bob")
+	if !ok || b.Key != "bob-key-4567" {
+		t.Fatalf("bob by name: %+v ok=%v", b, ok)
+	}
+	if _, ok := reg.Lookup("no-such-key"); ok {
+		t.Fatal("unknown key resolved")
+	}
+	if got := len(reg.Tenants()); got != 2 {
+		t.Fatalf("Tenants() = %d entries", got)
+	}
+}
+
+func TestParseRejectsBadFiles(t *testing.T) {
+	for name, doc := range map[string]string{
+		"empty set":      `{"tenants": []}`,
+		"empty name":     `{"tenants": [{"name": "", "key": "k1"}]}`,
+		"empty key":      `{"tenants": [{"name": "a", "key": ""}]}`,
+		"dup name":       `{"tenants": [{"name": "a", "key": "k1"}, {"name": "a", "key": "k2"}]}`,
+		"dup key":        `{"tenants": [{"name": "a", "key": "k"}, {"name": "b", "key": "k"}]}`,
+		"negative quota": `{"tenants": [{"name": "a", "key": "k", "max_cores": -1}]}`,
+		"unknown field":  `{"tenants": [{"name": "a", "key": "k", "max_corse": 2}]}`,
+	} {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	tn := &Tenant{Name: "a", Key: "k", RatePerSec: 10, Burst: 2}
+	now := time.Unix(1000, 0)
+	// Burst drains first...
+	for i := 0; i < 2; i++ {
+		if ok, _ := tn.Allow(now); !ok {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	// ...then the bucket is empty and the wait is ~1/rate.
+	ok, wait := tn.Allow(now)
+	if ok {
+		t.Fatal("empty bucket allowed")
+	}
+	if wait <= 0 || wait > 150*time.Millisecond {
+		t.Fatalf("retry-after %v for a 10/s bucket", wait)
+	}
+	// Refill: after 100 ms one token is back.
+	if ok, _ := tn.Allow(now.Add(101 * time.Millisecond)); !ok {
+		t.Fatal("refilled token denied")
+	}
+	// No rate configured = never limited.
+	open := &Tenant{Name: "b", Key: "k2"}
+	for i := 0; i < 100; i++ {
+		if ok, _ := open.Allow(now); !ok {
+			t.Fatal("unlimited tenant throttled")
+		}
+	}
+}
+
+func TestBurstDefaultsFromRate(t *testing.T) {
+	reg, err := Parse(strings.NewReader(
+		`{"tenants": [{"name": "a", "key": "k", "rate_per_sec": 0.5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := reg.ByName("a")
+	if a.Burst != 1 {
+		t.Fatalf("burst default = %d, want 1", a.Burst)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tn := &Tenant{Name: "a", Key: "k"}
+	ctx := NewContext(context.Background(), tn)
+	got, ok := FromContext(ctx)
+	if !ok || got != tn {
+		t.Fatalf("context round trip: %+v ok=%v", got, ok)
+	}
+	if _, ok := FromContext(context.Background()); ok {
+		t.Fatal("empty context produced a tenant")
+	}
+}
