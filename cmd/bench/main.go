@@ -1,0 +1,159 @@
+// Command bench runs the named performance suite (internal/perf) outside
+// `go test`, emits the trajectory JSON committed with perf PRs
+// (BENCH_*.json), and enforces the steady-state zero-allocation gate.
+//
+// Typical uses:
+//
+//	go run ./cmd/bench -list
+//	go run ./cmd/bench -run 'kernel/' -benchtime 2s
+//	go run ./cmd/bench -label PR7 -before BENCH_PR6.json -out BENCH_PR7.json
+//	go run ./cmd/bench -check-allocs            # CI gate, no timing run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"vlasov6d/internal/perf"
+)
+
+func main() {
+	var (
+		out         = flag.String("out", "", "write the JSON report to this file")
+		label       = flag.String("label", "", "report label recorded in the JSON (e.g. PR7)")
+		beforePath  = flag.String("before", "", "prior report JSON; its results become the before column")
+		runPat      = flag.String("run", "", "regexp selecting spec names to run")
+		benchtime   = flag.Duration("benchtime", time.Second, "minimum measuring time per bench")
+		count       = flag.Int("count", 1, "runs per bench; the fastest is kept (rejects scheduler noise)")
+		checkAllocs = flag.Bool("check-allocs", false, "verify steady-state specs allocate 0/op (skips timing unless -out/-run given)")
+		list        = flag.Bool("list", false, "list spec names and exit")
+	)
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fatal(err)
+	}
+
+	specs := perf.Suite()
+	if *runPat != "" {
+		re, err := regexp.Compile(*runPat)
+		if err != nil {
+			fatal(err)
+		}
+		kept := specs[:0]
+		for _, s := range specs {
+			if re.MatchString(s.Name) {
+				kept = append(kept, s)
+			}
+		}
+		specs = kept
+		if len(specs) == 0 {
+			fatal(fmt.Errorf("no specs match -run %q", *runPat))
+		}
+	}
+
+	if *list {
+		for _, s := range specs {
+			steady := ""
+			if s.Steady {
+				steady = "  [steady]"
+			}
+			fmt.Printf("%s%s\n", s.Name, steady)
+		}
+		return
+	}
+
+	if *checkAllocs {
+		if !checkSteady(specs) {
+			os.Exit(1)
+		}
+		// Allocation gate only, unless a timing run was also requested.
+		if *out == "" {
+			return
+		}
+	}
+
+	report := perf.NewReport(*label)
+	fmt.Printf("go=%s GOMAXPROCS=%d benchtime=%s\n\n", runtime.Version(), runtime.GOMAXPROCS(0), *benchtime)
+	for _, s := range specs {
+		res, err := perf.RunSpec(s)
+		if err != nil {
+			fatal(err)
+		}
+		for i := 1; i < *count; i++ {
+			again, err := perf.RunSpec(s)
+			if err != nil {
+				fatal(err)
+			}
+			if again.NsOp < res.NsOp {
+				res = again
+			}
+		}
+		line := fmt.Sprintf("%-28s %12.0f ns/op %6d allocs/op", s.Name, res.NsOp, res.AllocsOp)
+		if res.Gflops > 0 {
+			line += fmt.Sprintf("  %6.3f Gflops", res.Gflops)
+		}
+		if res.MBs > 0 {
+			line += fmt.Sprintf("  %8.1f MB/s", res.MBs)
+		}
+		fmt.Println(line)
+		report.Benches = append(report.Benches, perf.Entry{
+			Name: s.Name, Legacy: s.Legacy, Steady: s.Steady, After: res,
+		})
+	}
+
+	if *beforePath != "" {
+		prev, err := perf.LoadReport(*beforePath)
+		if err != nil {
+			fatal(err)
+		}
+		report.Merge(prev)
+		fmt.Println()
+		for _, e := range report.Benches {
+			if e.Before != nil {
+				fmt.Printf("%-28s %12.0f -> %12.0f ns/op  (%.2fx)\n", e.Name, e.Before.NsOp, e.After.NsOp, e.Speedup)
+			}
+		}
+	}
+	report.Sort()
+
+	if *out != "" {
+		if err := report.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}
+
+// checkSteady runs the zero-allocation gate over every steady spec in the
+// selection and reports offenders.
+func checkSteady(specs []perf.Spec) bool {
+	ok := true
+	for _, s := range specs {
+		if !s.Steady {
+			continue
+		}
+		allocs, err := s.SteadyAllocs()
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "FAIL %-28s %v\n", s.Name, err)
+			ok = false
+		case allocs != 0:
+			fmt.Fprintf(os.Stderr, "FAIL %-28s %.1f allocs/op in steady state, want 0\n", s.Name, allocs)
+			ok = false
+		default:
+			fmt.Printf("ok   %-28s 0 allocs/op\n", s.Name)
+		}
+	}
+	return ok
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

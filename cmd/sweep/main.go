@@ -40,6 +40,8 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -71,19 +73,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		schemes   = flag.String("schemes", "slmpp5,mp5,upwind1", "comma-separated x-drift advection schemes")
-		res       = flag.String("res", "32x64,64x128", "comma-separated NXxNV phase-space resolutions")
-		k         = flag.Float64("k", 0.5, "perturbation wavenumber (Debye-length units)")
-		alpha     = flag.Float64("alpha", 0.01, "perturbation amplitude")
-		until     = flag.Float64("until", 25, "integration time ω_p·t")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		budget    = flag.Int("budget", 0, "CPU core budget divided among live jobs, rebalanced as the queue drains; 0 disables (every job then runs GOMAXPROCS intra-step workers and an N-job pool oversubscribes the machine N-fold). -budget with the machine's core count is the paper's fixed-partition accounting.")
-		wall      = flag.Duration("wall", 0, "shared wall-clock budget for the whole sweep (0 = unlimited)")
-		resumeDir = flag.String("resume-dir", "", "per-job checkpoint root; a re-invoked sweep resumes each job from its newest snapshot")
-		retries   = flag.Int("retries", 0, "extra attempts per job after a transient (retryable) failure")
-		ckptEvery = flag.Int("ckpt-every", 25, "checkpoint cadence in steps (with -resume-dir)")
+		schemes    = flag.String("schemes", "slmpp5,mp5,upwind1", "comma-separated x-drift advection schemes")
+		res        = flag.String("res", "32x64,64x128", "comma-separated NXxNV phase-space resolutions")
+		k          = flag.Float64("k", 0.5, "perturbation wavenumber (Debye-length units)")
+		alpha      = flag.Float64("alpha", 0.01, "perturbation amplitude")
+		until      = flag.Float64("until", 25, "integration time ω_p·t")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		budget     = flag.Int("budget", 0, "CPU core budget divided among live jobs, rebalanced as the queue drains; 0 disables (every job then runs GOMAXPROCS intra-step workers and an N-job pool oversubscribes the machine N-fold). -budget with the machine's core count is the paper's fixed-partition accounting.")
+		wall       = flag.Duration("wall", 0, "shared wall-clock budget for the whole sweep (0 = unlimited)")
+		resumeDir  = flag.String("resume-dir", "", "per-job checkpoint root; a re-invoked sweep resumes each job from its newest snapshot")
+		retries    = flag.Int("retries", 0, "extra attempts per job after a transient (retryable) failure")
+		ckptEvery  = flag.Int("ckpt-every", 25, "checkpoint cadence in steps (with -resume-dir)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at sweep end to this file")
 	)
 	flag.Parse()
+
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 
 	var grid []*cell
 	for _, sc := range strings.Split(*schemes, ",") {
@@ -225,8 +231,40 @@ func main() {
 			c.scheme, label, gamma, theory, errPct, r.Attempt, r.Status)
 	}
 	fmt.Printf("\nsweep finished in %.2fs wall\n", time.Since(start).Seconds())
+	stopProfiles()
 	if ctx.Err() != nil {
 		os.Exit(1)
+	}
+}
+
+// startProfiles starts a CPU profile (if requested) and returns a function
+// that stops it and writes the heap profile. The returned function must run
+// before os.Exit, which skips deferred calls.
+func startProfiles(cpuPath, memPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return func() {
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 }
 

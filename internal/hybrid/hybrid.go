@@ -205,9 +205,13 @@ type Simulation struct {
 	rhoPM     []float64 // scratch: total density on PM mesh
 	phiLong   []float64
 	phiFull   []float64
-	accCell   [3][]float64 // Vlasov-grid accelerations
-	accPart   [3][]float64 // particle accelerations
-	accNuPart [3][]float64 // neutrino-particle accelerations (baseline mode)
+	accCell   [3][]float64   // Vlasov-grid accelerations
+	accPart   [3][]float64   // particle accelerations
+	accNuPart [3][]float64   // neutrino-particle accelerations (baseline mode)
+	mom       *phase.Moments // reused neutrino moment buffer (one reduction per step)
+	nuPM      []float64      // reused neutrino-density resample on the PM mesh
+	meshAcc   [3][]float64   // reused PM-mesh acceleration components
+	accShort  [3][]float64   // reused tree short-range force scratch
 	uT        float64
 	gen       *ic.Generator
 	primed    bool // forces valid for the current state
@@ -387,10 +391,14 @@ func (s *Simulation) NeutrinoDensityPM() []float64 {
 		return nil
 	}
 	t0 := time.Now()
-	m := s.Grid.ComputeMoments()
+	s.mom = s.Grid.ComputeMomentsInto(s.mom)
+	m := s.mom
 	s.Tim.Moments += time.Since(t0)
 	r := s.pmMesh[0] / s.Grid.NX
-	out := make([]float64, s.PM.Size())
+	if len(s.nuPM) != s.PM.Size() {
+		s.nuPM = make([]float64, s.PM.Size())
+	}
+	out := s.nuPM
 	nx, ny, nz := s.Grid.NX, s.Grid.NY, s.Grid.NZ
 	npmY, npmZ := s.pmMesh[1], s.pmMesh[2]
 	for ix := 0; ix < nx; ix++ {
@@ -442,10 +450,10 @@ func (s *Simulation) computeForces() error {
 		if _, err := s.PM.SolveFiltered(s.rhoPM, coeff, 0, s.phiFull); err != nil {
 			return err
 		}
-		meshAcc, err := s.PM.Accel(s.phiFull)
-		if err != nil {
+		if err := s.PM.AccelInto(s.phiFull, &s.meshAcc); err != nil {
 			return err
 		}
+		meshAcc := s.meshAcc
 		if s.Grid != nil {
 			s.downsampleAccel(meshAcc)
 		}
@@ -466,12 +474,13 @@ func (s *Simulation) computeForces() error {
 	if _, err := s.PM.SolveFiltered(s.rhoPM, coeff, rsUse, s.phiLong); err != nil {
 		return err
 	}
-	meshAccL, err := s.PM.Accel(s.phiLong)
-	if err != nil {
+	// The full-potential interpolations above are complete, so the mesh
+	// acceleration scratch can be reused for the filtered potential.
+	if err := s.PM.AccelInto(s.phiLong, &s.meshAcc); err != nil {
 		return err
 	}
 	for d := 0; d < 3; d++ {
-		if err := s.Part.CICInterp(meshAccL[d], s.pmMesh, s.accPart[d]); err != nil {
+		if err := s.Part.CICInterp(s.meshAcc[d], s.pmMesh, s.accPart[d]); err != nil {
 			return err
 		}
 	}
@@ -489,10 +498,13 @@ func (s *Simulation) computeForces() error {
 		if s.workers > 0 {
 			tr.SetWorkers(s.workers)
 		}
-		var short [3][]float64
+		short := s.accShort
 		for d := 0; d < 3; d++ {
-			short[d] = make([]float64, s.Part.N)
+			if len(short[d]) != s.Part.N {
+				short[d] = make([]float64, s.Part.N)
+			}
 		}
+		s.accShort = short
 		if err := tr.AccelAll(short); err != nil {
 			return err
 		}

@@ -32,11 +32,18 @@
 // method-of-lines flux would be unstable in a single Euler stage, which is
 // precisely the cost problem SL-MPP5 solves). Tests assert bit-level
 // agreement between the modes.
+//
+// Hot-path contract: a Brick owns per-worker scratch arenas that are reused
+// across Sweep calls, so steady-state sweeping allocates nothing (asserted by
+// testing.AllocsPerRun in the tests); SetWorkers parallelises a sweep over
+// independent lines/blocks with results bit-identical to the serial path for
+// every mode and axis.
 package kernel
 
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Mode selects the sweep implementation.
@@ -51,7 +58,7 @@ const (
 	// ("w/ SIMD"); for a sweep along the fastest axis itself it degrades to
 	// strided gathers across lines, exactly like Fig. 2.
 	Contig
-	// LAT transposes B×B tiles so that sweeps along the fastest axis also
+	// LAT transposes tiles so that sweeps along the fastest axis also
 	// stream with unit stride ("w/ LAT").
 	LAT
 )
@@ -69,8 +76,10 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
-// TileB is the LAT tile edge, the software analogue of the paper's 16×16
-// register transpose (64 shuffle instructions on SVE).
+// TileB is the transpose tile edge, the software analogue of the paper's
+// 16×16 register transpose (64 shuffle instructions on SVE). It is also the
+// line-group width of the Fig. 2 gather path (the "SIMD width" being
+// emulated) and the granularity the cache model rounds block widths to.
 const TileB = 16
 
 // FlopsPerCell is the flop count of one fifth-order update per cell
@@ -78,12 +87,64 @@ const TileB = 16
 // reused), used to convert timings into the paper's Gflops metric.
 const FlopsPerCell = 12
 
+// CacheTarget is the working-set budget, in bytes, that the cache model fits
+// one sweep block into: block widths are chosen so the data rows plus flux
+// rows a block touches stay resident while the block is processed. The
+// default is sized for a typical per-core L2 share; it is a variable (not a
+// constant) so experiments can retune it — block partitioning reorders
+// memory traffic only and never changes the computed values.
+var CacheTarget = 256 << 10
+
+// blockCols picks the column-block width for the two-phase plane update:
+// a block touches n data rows plus n+1 flux rows of cw float32 columns, so
+// cw is chosen to keep (2n+1)·cw·4 bytes within CacheTarget, rounded down to
+// a multiple of TileB and clamped to [TileB, width]. The fixed 2048-column
+// chunk this replaces overflowed L1/L2 for deep bricks (large n) and wasted
+// locality for shallow ones.
+func blockCols(n, width int) int {
+	cw := CacheTarget / (4 * (2*n + 1))
+	cw &^= TileB - 1
+	if cw < TileB {
+		cw = TileB
+	}
+	if cw > width {
+		cw = width
+	}
+	return cw
+}
+
+// latGroupCols picks how many lines one LAT group transposes together. The
+// group holds the transposed plane (n rows) plus its flux rows (n+1) in
+// scratch while the source lines (another n rows' worth) stream through the
+// transposes, so (3n+1)·b·4 bytes must fit CacheTarget. Wider groups than
+// the historical fixed TileB amortise loop overhead over long unit-stride
+// inner loops — the whole point of load-and-transpose — while the cache
+// model keeps the working set resident.
+func latGroupCols(n int) int {
+	b := CacheTarget / (4 * (3*n + 1))
+	b &^= TileB - 1
+	if b < TileB {
+		b = TileB
+	}
+	return b
+}
+
 // Brick is a dense multi-dimensional array of float32 (the paper's Vlasov
 // arrays are single precision) with row-major layout: the LAST dimension is
 // fastest, matching List 1's per-cell velocity cubes.
+//
+// A Brick also owns the sweep scratch: one arena per worker, grown on first
+// use and reused for every later Sweep, so steady-state sweeping is
+// allocation-free. A Brick must not be swept from multiple goroutines at
+// once (Sweep itself parallelises internally via SetWorkers).
 type Brick struct {
 	Dims []int
 	Data []float32
+
+	// workers is the intra-sweep parallelism (≤ 1 = serial, the default).
+	workers int
+	// arenas holds per-worker scratch, indexed by worker id.
+	arenas []*sweepArena
 }
 
 // NewBrick allocates a brick with the given dimensions.
@@ -99,6 +160,100 @@ func NewBrick(dims ...int) (*Brick, error) {
 		n *= d
 	}
 	return &Brick{Dims: append([]int(nil), dims...), Data: make([]float32, n)}, nil
+}
+
+// SetWorkers pins the number of goroutines Sweep parallelises over
+// (minimum 1). Sweeps decompose into independent lines or column blocks
+// whose arithmetic does not depend on the partition, so the result is
+// bit-identical to the serial sweep for every mode, axis and worker count —
+// the worker count trades wall-clock only.
+func (b *Brick) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	b.workers = n
+}
+
+// Workers reports the pinned sweep parallelism (minimum 1).
+func (b *Brick) Workers() int {
+	if b.workers < 1 {
+		return 1
+	}
+	return b.workers
+}
+
+// sweepArena is the per-worker scratch of one Brick: a gather line, a flat
+// flux slab and a transpose buffer, each grown geometrically and never
+// shrunk, so repeated sweeps of any axis sequence reuse the same backing
+// arrays. (The old per-sweep [][]float32 scratch reallocated every row
+// whenever the row count grew even when the total already fit — the growth
+// policy this replaces.)
+type sweepArena struct {
+	line []float32 // strided line gather/scatter buffer
+	flux []float32 // interface-flux slab, row-major (rows × block width)
+	lat  []float32 // LAT position-major transpose buffer
+}
+
+// growF32 returns buf resized to n, reusing the backing array when it fits
+// and at least doubling the capacity when it does not.
+func growF32(buf []float32, n int) []float32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	c := 2 * cap(buf)
+	if c < n {
+		c = n
+	}
+	return make([]float32, n, c)
+}
+
+func (a *sweepArena) lineBuf(n int) []float32 { a.line = growF32(a.line, n); return a.line }
+func (a *sweepArena) fluxBuf(n int) []float32 { a.flux = growF32(a.flux, n); return a.flux }
+func (a *sweepArena) latBuf(n int) []float32  { a.lat = growF32(a.lat, n); return a.lat }
+
+// arena returns worker w's scratch, growing the arena list on demand.
+func (b *Brick) arena(w int) *sweepArena {
+	for len(b.arenas) <= w {
+		b.arenas = append(b.arenas, &sweepArena{})
+	}
+	return b.arenas[w]
+}
+
+// clampWorkers bounds the sweep parallelism by the number of independent
+// work items.
+func (b *Brick) clampWorkers(items int) int {
+	nw := b.workers
+	if nw < 1 {
+		nw = 1
+	}
+	if nw > items {
+		nw = items
+	}
+	return nw
+}
+
+// runRanges is the parallel dispatch path: items are split into one
+// contiguous range per worker, each run with that worker's private arena.
+// Callers handle the nw ≤ 1 case serially first (with arena 0 and no
+// closure), which keeps the steady-state serial sweep allocation-free.
+func (b *Brick) runRanges(items, nw int, run func(ar *sweepArena, lo, hi int)) {
+	var wg sync.WaitGroup
+	chunk := (items + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > items {
+			hi = items
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(ar *sweepArena, lo, hi int) {
+			defer wg.Done()
+			run(ar, lo, hi)
+		}(b.arena(w), lo, hi)
+	}
+	wg.Wait()
 }
 
 // Shape3 returns the (pre, n, post) factorisation of the brick around axis:
@@ -136,21 +291,18 @@ func (b *Brick) Sweep(axis int, mode Mode, c float32) error {
 	a := cslCoefs(float64(c))
 	switch mode {
 	case Strided:
-		sweepStrided(b.Data, pre, n, post, &a)
+		b.sweepStrided(pre, n, post, a)
 	case Contig:
 		if post > 1 {
-			s := newPlaneScratch(post)
-			for p := 0; p < pre; p++ {
-				updatePlane(b.Data[p*n*post:(p+1)*n*post], n, post, &a, s)
-			}
+			b.sweepPlanes(pre, n, post, a)
 		} else {
-			sweepGather(b.Data, pre, n, &a)
+			b.sweepGather(pre, n, a)
 		}
 	case LAT:
 		if post != 1 {
 			return fmt.Errorf("kernel: LAT applies to the fastest axis only")
 		}
-		sweepLAT(b.Data, pre, n, &a)
+		b.sweepLAT(pre, n, a)
 	default:
 		return fmt.Errorf("kernel: unknown mode %v", mode)
 	}
@@ -224,115 +376,141 @@ func updateLine5(line []float32, a *coef5) {
 
 // sweepStrided is the "w/o SIMD" reference: every line along the advection
 // axis is gathered element by element with stride `post`, updated, and
-// scattered back.
-func sweepStrided(data []float32, pre, n, post int, a *coef5) {
-	line := make([]float32, n)
-	for p := 0; p < pre; p++ {
-		base := p * n * post
-		for q := 0; q < post; q++ {
-			off := base + q
-			for i := 0; i < n; i++ {
-				line[i] = data[off+i*post]
-			}
-			updateLine5(line, a)
-			for i := 0; i < n; i++ {
-				data[off+i*post] = line[i]
-			}
+// scattered back. Lines are independent, so the parallel split over line
+// ranges is bit-identical to the serial order.
+func (b *Brick) sweepStrided(pre, n, post int, a coef5) {
+	items := pre * post
+	nw := b.clampWorkers(items)
+	if nw <= 1 {
+		b.stridedRange(b.arena(0), 0, items, n, post, a)
+		return
+	}
+	b.runRanges(items, nw, func(ar *sweepArena, lo, hi int) {
+		b.stridedRange(ar, lo, hi, n, post, a)
+	})
+}
+
+func (b *Brick) stridedRange(ar *sweepArena, lo, hi, n, post int, a coef5) {
+	line := ar.lineBuf(n)
+	data := b.Data
+	stride := n * post
+	for t := lo; t < hi; t++ {
+		p, q := t/post, t%post
+		off := p*stride + q
+		for i := 0; i < n; i++ {
+			line[i] = data[off+i*post]
+		}
+		updateLine5(line, &a)
+		for i := 0; i < n; i++ {
+			data[off+i*post] = line[i]
 		}
 	}
 }
 
-// planeChunk caps the column-block width so the flux planes stay
-// cache-resident even for very wide planes (the x/y/z sweeps have widths of
-// 10⁵–10⁶ columns).
-const planeChunk = 2048
-
-// planeScratch holds the per-block flux planes used to update a [n][width]
-// plane in place without copying rows: all interface fluxes of a column
-// block are evaluated from the original data first, then the rows are
-// updated. This keeps every inner loop unit-stride (the Fig. 1 data flow)
-// with zero memmove traffic.
-type planeScratch struct {
-	flux  [][]float32 // flux[i][q] = Φ_{i−1/2} for the block columns
-	width int
-}
-
-func newPlaneScratch(width int) *planeScratch {
-	if width > planeChunk {
-		width = planeChunk
+// sweepPlanes is the Fig. 1 path for sweeps off the fastest axis: each
+// [n][post] plane advances in place through cache-model-sized column blocks
+// whose interface fluxes are computed from the original rows first, keeping
+// every inner loop unit-stride with zero memmove traffic. Blocks touch
+// disjoint columns, so the parallel split over (plane, block) pairs is
+// bit-identical to the serial order.
+func (b *Brick) sweepPlanes(pre, n, post int, a coef5) {
+	cw := blockCols(n, post)
+	nb := (post + cw - 1) / cw
+	items := pre * nb
+	nw := b.clampWorkers(items)
+	if nw <= 1 {
+		b.planesRange(b.arena(0), 0, items, n, post, cw, nb, a)
+		return
 	}
-	return &planeScratch{width: width}
+	b.runRanges(items, nw, func(ar *sweepArena, lo, hi int) {
+		b.planesRange(ar, lo, hi, n, post, cw, nb, a)
+	})
 }
 
-// ensure sizes the flux planes for (rows n+1) × width.
-func (s *planeScratch) ensure(n, width int) {
-	if len(s.flux) < n+1 || s.width < width {
-		if width < s.width {
-			width = s.width
+func (b *Brick) planesRange(ar *sweepArena, lo, hi, n, post, cw, nb int, a coef5) {
+	for t := lo; t < hi; t++ {
+		p, blk := t/nb, t%nb
+		col := blk * cw
+		w := cw
+		if col+w > post {
+			w = post - col
 		}
-		s.flux = make([][]float32, n+1)
-		for i := range s.flux {
-			s.flux[i] = make([]float32, width)
-		}
-		s.width = width
+		plane := b.Data[p*n*post : (p+1)*n*post]
+		updatePlaneBlock(plane, n, post, col, w, &a, ar)
 	}
 }
 
-// updatePlane advances a row-major [n][width] plane in place, periodic along
-// the row index, tiling over column blocks.
-func updatePlane(buf []float32, n, width int, a *coef5, s *planeScratch) {
-	for col := 0; col < width; col += planeChunk {
-		cw := planeChunk
-		if col+cw > width {
-			cw = width - col
+// updatePlaneBlock updates columns [col, col+cw) of a row-major [n][width]
+// plane: first every interface flux of the block is computed from the
+// ORIGINAL rows (Φ_{i−1/2} uses rows i−3 … i+1, matching updateLine5), then
+// each row is updated in place. The flux slab lives in the worker's arena.
+func updatePlaneBlock(buf []float32, n, width, col, cw int, a *coef5, ar *sweepArena) {
+	flux := blockFluxes(buf, n, width, col, cw, a, ar)
+	for i := 0; i < n; i++ {
+		off := i*width + col
+		out := buf[off : off+cw]
+		lo := flux[i*cw : i*cw+cw]
+		hi := flux[(i+1)*cw : (i+1)*cw+cw]
+		for q := range out {
+			out[q] -= hi[q] - lo[q]
 		}
-		updatePlaneBlock(buf, n, width, col, cw, a, s)
 	}
 }
 
-// updatePlaneBlock updates columns [col, col+cw): first every interface flux
-// of the block is computed from the ORIGINAL rows (Φ_{i−1/2} uses rows
-// i−3 … i+1, matching updateLine5), then each row is updated in place.
-func updatePlaneBlock(buf []float32, n, width, col, cw int, a *coef5, s *planeScratch) {
-	s.ensure(n, cw)
+// blockFluxes computes the n+1 interface-flux rows of a column block into
+// the worker's flux slab: Φ_{i−1/2} uses rows i−3 … i+1 of the ORIGINAL
+// data, matching updateLine5 exactly.
+func blockFluxes(buf []float32, n, width, col, cw int, a *coef5, ar *sweepArena) []float32 {
+	flux := ar.fluxBuf((n + 1) * cw)
+	a0, a1, a2, a3, a4 := a[0], a[1], a[2], a[3], a[4]
 	row := func(i int) []float32 {
 		if i >= n {
 			i -= n
 		} else if i < 0 {
 			i += n
 		}
-		return buf[i*width+col : i*width+col+cw]
+		off := i*width + col
+		return buf[off : off+cw]
 	}
 	for i := 0; i <= n; i++ {
 		r0, r1, r2, r3, r4 := row(i-3), row(i-2), row(i-1), row(i), row(i+1)
-		fl := s.flux[i][:cw]
-		for q := 0; q < cw; q++ {
-			fl[q] = flux5(a, r0[q], r1[q], r2[q], r3[q], r4[q])
+		fl := flux[i*cw : i*cw+cw]
+		for q := range fl {
+			fl[q] = a0*r0[q] + a1*r1[q] + a2*r2[q] + a3*r3[q] + a4*r4[q]
 		}
 	}
-	for i := 0; i < n; i++ {
-		out := row(i)
-		lo := s.flux[i][:cw]
-		hi := s.flux[i+1][:cw]
-		for q := 0; q < cw; q++ {
-			out[q] -= hi[q] - lo[q]
-		}
-	}
+	return flux
 }
 
 // sweepGather is the Fig. 2 path: the sweep runs along the fastest axis, and
 // "vectorising" across TileB lines forces every stencil access to stride by
 // the full line length n. It produces identical results to the other modes
-// but at gather speed — the paper's 17.9 Gflops row.
-func sweepGather(data []float32, pre, n int, a *coef5) {
-	s := newPlaneScratch(TileB)
-	for g := 0; g < pre; g += TileB {
-		b := TileB
-		if g+b > pre {
-			b = pre - g
+// but at gather speed — the paper's 17.9 Gflops row. The group width stays
+// pinned at TileB (the emulated SIMD width): this mode exists to exhibit the
+// gather problem, not to be tuned around it.
+func (b *Brick) sweepGather(pre, n int, a coef5) {
+	ng := (pre + TileB - 1) / TileB
+	nw := b.clampWorkers(ng)
+	if nw <= 1 {
+		b.gatherRange(b.arena(0), 0, ng, pre, n, a)
+		return
+	}
+	b.runRanges(ng, nw, func(ar *sweepArena, lo, hi int) {
+		b.gatherRange(ar, lo, hi, pre, n, a)
+	})
+}
+
+func (b *Brick) gatherRange(ar *sweepArena, lo, hi, pre, n int, a coef5) {
+	data := b.Data
+	flux := ar.fluxBuf((n + 1) * TileB)
+	a0, a1, a2, a3, a4 := a[0], a[1], a[2], a[3], a[4]
+	for g := lo; g < hi; g++ {
+		g0 := g * TileB
+		bw := TileB
+		if g0+bw > pre {
+			bw = pre - g0
 		}
-		s.ensure(n, b)
-		base := g * n
+		base := g0 * n
 		wrap := func(i int) int {
 			if i >= n {
 				return i - n
@@ -343,58 +521,110 @@ func sweepGather(data []float32, pre, n int, a *coef5) {
 			return i
 		}
 		// Phase 1: every interface flux, gathered with stride n across the
-		// b lines (the Fig. 2 access pattern).
+		// bw lines (the Fig. 2 access pattern).
 		for i := 0; i <= n; i++ {
 			i0, i1, i2, i3, i4 := wrap(i-3), wrap(i-2), wrap(i-1), wrap(i), wrap(i+1)
-			fl := s.flux[i][:b]
-			for l := 0; l < b; l++ {
+			fl := flux[i*TileB : i*TileB+bw]
+			for l := range fl {
 				off := base + l*n
-				fl[l] = flux5(a, data[off+i0], data[off+i1], data[off+i2],
-					data[off+i3], data[off+i4])
+				fl[l] = a0*data[off+i0] + a1*data[off+i1] + a2*data[off+i2] +
+					a3*data[off+i3] + a4*data[off+i4]
 			}
 		}
 		// Phase 2: strided scatter of the update.
 		for i := 0; i < n; i++ {
-			lo := s.flux[i][:b]
-			hi := s.flux[i+1][:b]
-			for l := 0; l < b; l++ {
+			lo := flux[i*TileB : i*TileB+bw]
+			hi := flux[(i+1)*TileB : (i+1)*TileB+bw]
+			for l := range lo {
 				data[base+l*n+i] -= hi[l] - lo[l]
 			}
 		}
 	}
 }
 
-// sweepLAT is the Fig. 3 fix: groups of TileB lines are transposed (in B×B
+// sweepLAT is the Fig. 3 fix: groups of lines are transposed (in TileB×TileB
 // tiles, the software analogue of the in-register shuffles) into a
 // position-major scratch so the update streams with unit stride, then
-// transposed back.
-func sweepLAT(data []float32, pre, n int, a *coef5) {
-	s := newPlaneScratch(TileB)
-	t := make([]float32, n*TileB)
-	for g := 0; g < pre; g += TileB {
-		b := TileB
-		if g+b > pre {
-			b = pre - g
+// transposed back. The group width comes from the cache model — wide enough
+// to amortise loop overhead over long unit-stride inner loops, small enough
+// that the transposed plane and its flux rows stay cache-resident. Groups
+// touch disjoint lines, so the parallel split is bit-identical to serial.
+func (b *Brick) sweepLAT(pre, n int, a coef5) {
+	bg := latGroupCols(n)
+	ng := (pre + bg - 1) / bg
+	nw := b.clampWorkers(ng)
+	if nw <= 1 {
+		b.latRange(b.arena(0), 0, ng, pre, n, bg, a)
+		return
+	}
+	b.runRanges(ng, nw, func(ar *sweepArena, lo, hi int) {
+		b.latRange(ar, lo, hi, pre, n, bg, a)
+	})
+}
+
+func (b *Brick) latRange(ar *sweepArena, lo, hi, pre, n, bg int, a coef5) {
+	t := ar.latBuf(n * bg)
+	for g := lo; g < hi; g++ {
+		g0 := g * bg
+		w := bg
+		if g0+w > pre {
+			w = pre - g0
 		}
-		base := g * n
-		transposeIn(data[base:], t, n, b)
-		updatePlane(t[:n*b], n, b, a, s)
-		transposeOut(t, data[base:], n, b)
+		src := b.Data[g0*n : (g0+w)*n]
+		transposeIn(src, t, n, w)
+		flux := blockFluxes(t[:n*w], n, w, 0, w, &a, ar)
+		updateTransposeOut(t, flux, src, n, w)
+	}
+}
+
+// updateTransposeOut fuses the row update with the outbound transpose:
+// instead of updating the position-major buffer in place and copying it back,
+// the updated value t − (Φ_hi − Φ_lo) is written straight to its strided
+// destination, saving one full read+write pass over the transpose buffer.
+// The arithmetic is the same expression in the same order as
+// updatePlaneBlock's update phase, so results remain bit-identical.
+func updateTransposeOut(t, flux, dst []float32, n, b int) {
+	for i0 := 0; i0 < n; i0 += TileB {
+		imax := i0 + TileB
+		if imax > n {
+			imax = n
+		}
+		for l0 := 0; l0 < b; l0 += TileB {
+			lmax := l0 + TileB
+			if lmax > b {
+				lmax = b
+			}
+			for i := i0; i < imax; i++ {
+				trow := t[i*b : i*b+b]
+				lo := flux[i*b : i*b+b]
+				hi := flux[(i+1)*b : (i+1)*b+b]
+				for l := l0; l < lmax; l++ {
+					dst[l*n+i] = trow[l] - (hi[l] - lo[l])
+				}
+			}
+		}
 	}
 }
 
 // transposeIn rearranges b lines of length n (row-major [b][n]) into a
-// position-major [n][b] buffer, tile by tile.
+// position-major [n][b] buffer, TileB×TileB tile by tile so both the
+// scattered and the streamed side of the shuffle stay cache-resident.
 func transposeIn(src, dst []float32, n, b int) {
 	for i0 := 0; i0 < n; i0 += TileB {
 		imax := i0 + TileB
 		if imax > n {
 			imax = n
 		}
-		for l := 0; l < b; l++ {
-			lrow := src[l*n:]
-			for i := i0; i < imax; i++ {
-				dst[i*b+l] = lrow[i]
+		for l0 := 0; l0 < b; l0 += TileB {
+			lmax := l0 + TileB
+			if lmax > b {
+				lmax = b
+			}
+			for l := l0; l < lmax; l++ {
+				lrow := src[l*n:]
+				for i := i0; i < imax; i++ {
+					dst[i*b+l] = lrow[i]
+				}
 			}
 		}
 	}
@@ -407,10 +637,16 @@ func transposeOut(src, dst []float32, n, b int) {
 		if imax > n {
 			imax = n
 		}
-		for l := 0; l < b; l++ {
-			lrow := dst[l*n:]
-			for i := i0; i < imax; i++ {
-				lrow[i] = src[i*b+l]
+		for l0 := 0; l0 < b; l0 += TileB {
+			lmax := l0 + TileB
+			if lmax > b {
+				lmax = b
+			}
+			for l := l0; l < lmax; l++ {
+				lrow := dst[l*n:]
+				for i := i0; i < imax; i++ {
+					lrow[i] = src[i*b+l]
+				}
 			}
 		}
 	}

@@ -1,0 +1,151 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fillBrick populates a brick with a deterministic smooth-plus-noise field so
+// bitwise comparisons exercise non-trivial mantissas.
+func fillBrick(b *Brick, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range b.Data {
+		b.Data[i] = float32(1 + 0.5*math.Sin(float64(i)*0.01) + 0.1*rng.Float64())
+	}
+}
+
+// sweepCase enumerates every (axis, mode) combination Sweep accepts on a
+// 6D brick.
+type sweepCase struct {
+	axis int
+	mode Mode
+}
+
+func allSweepCases(nd int) []sweepCase {
+	var cases []sweepCase
+	for axis := 0; axis < nd; axis++ {
+		cases = append(cases, sweepCase{axis, Strided}, sweepCase{axis, Contig})
+	}
+	cases = append(cases, sweepCase{nd - 1, LAT})
+	return cases
+}
+
+// TestParallelSweepBitIdentical proves the SetWorkers contract: for every
+// mode, every axis and several worker counts (including counts that do not
+// divide the work evenly), the parallel sweep produces bit-identical data to
+// the serial sweep.
+func TestParallelSweepBitIdentical(t *testing.T) {
+	dims := []int{6, 6, 6, 16, 16, 16}
+	for _, tc := range allSweepCases(len(dims)) {
+		ref, err := NewBrick(dims...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillBrick(ref, 42)
+		if err := ref.Sweep(tc.axis, tc.mode, 0.37); err != nil {
+			t.Fatalf("serial sweep axis %d mode %v: %v", tc.axis, tc.mode, err)
+		}
+		for _, nw := range []int{2, 3, 5, 16} {
+			par, err := NewBrick(dims...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fillBrick(par, 42)
+			par.SetWorkers(nw)
+			if err := par.Sweep(tc.axis, tc.mode, 0.37); err != nil {
+				t.Fatalf("parallel sweep axis %d mode %v workers %d: %v", tc.axis, tc.mode, nw, err)
+			}
+			for i := range ref.Data {
+				if ref.Data[i] != par.Data[i] {
+					t.Fatalf("axis %d mode %v workers %d: data[%d] = %x, serial %x",
+						tc.axis, tc.mode, nw, i, par.Data[i], ref.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSweepRepeatedBitIdentical runs a multi-axis sweep sequence
+// (the shape of a real splitting step, with arena reuse across calls) and
+// checks serial/parallel bit identity of the composite.
+func TestParallelSweepRepeatedBitIdentical(t *testing.T) {
+	dims := []int{6, 6, 6, 16, 16, 16}
+	run := func(workers int) *Brick {
+		b, err := NewBrick(dims...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillBrick(b, 7)
+		b.SetWorkers(workers)
+		for rep := 0; rep < 3; rep++ {
+			for axis := 0; axis < len(dims); axis++ {
+				if err := b.Sweep(axis, Contig, 0.25); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := b.Sweep(len(dims)-1, LAT, 0.25); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b
+	}
+	ref := run(1)
+	par := run(3)
+	for i := range ref.Data {
+		if ref.Data[i] != par.Data[i] {
+			t.Fatalf("composite sweep differs at %d: %x vs %x", i, par.Data[i], ref.Data[i])
+		}
+	}
+}
+
+// TestSweepSteadyStateZeroAlloc asserts the arena contract: after a warm-up
+// sweep of each (axis, mode), repeating the whole sweep set allocates
+// nothing.
+func TestSweepSteadyStateZeroAlloc(t *testing.T) {
+	dims := []int{6, 6, 6, 16, 16, 16}
+	b, err := NewBrick(dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillBrick(b, 3)
+	cases := allSweepCases(len(dims))
+	sweepAll := func() {
+		for _, tc := range cases {
+			if err := b.Sweep(tc.axis, tc.mode, 0.3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sweepAll() // warm the arena
+	if allocs := testing.AllocsPerRun(20, sweepAll); allocs != 0 {
+		t.Fatalf("steady-state sweeps allocate %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestBlockColsCacheModel pins the cache-model invariants: block widths are
+// TileB multiples, never exceed the plane width, and the modelled working
+// set fits the target.
+func TestBlockColsCacheModel(t *testing.T) {
+	for _, n := range []int{6, 16, 24, 64, 256} {
+		for _, width := range []int{16, 100, 2048, 1 << 20} {
+			cw := blockCols(n, width)
+			if cw < 1 || cw > width && width >= TileB {
+				t.Fatalf("blockCols(%d,%d) = %d out of range", n, width, cw)
+			}
+			if cw > TileB && cw%TileB != 0 && cw != width {
+				t.Fatalf("blockCols(%d,%d) = %d not a TileB multiple", n, width, cw)
+			}
+			if cw > TileB && 4*(2*n+1)*cw > CacheTarget && cw != width {
+				t.Fatalf("blockCols(%d,%d) = %d overflows CacheTarget", n, width, cw)
+			}
+		}
+		bg := latGroupCols(n)
+		if bg < TileB || bg%TileB != 0 {
+			t.Fatalf("latGroupCols(%d) = %d not a positive TileB multiple", n, bg)
+		}
+		if bg > TileB && 4*(3*n+1)*bg > CacheTarget {
+			t.Fatalf("latGroupCols(%d) = %d overflows CacheTarget", n, bg)
+		}
+	}
+}

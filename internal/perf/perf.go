@@ -1,0 +1,336 @@
+// Package perf defines the named benchmark suite behind the repo's recorded
+// performance trajectory (BENCH_*.json): one stable spec per hot path —
+// kernel sweeps per mode, phase-grid moments, plasma drift/kick/step, the 6D
+// Vlasov step, the PM FFT, the tree walk and the snapshot encoder — with the
+// workload shapes frozen so numbers stay comparable across PRs.
+//
+// The suite runs three ways from one definition: `go test -bench Suite` in
+// this package, the cmd/bench harness (which emits the committed JSON
+// report), and the steady-state allocation gate (TestSteadySpecsZeroAlloc
+// here, `cmd/bench -check-allocs` in CI). Specs marked Steady carry the
+// zero-allocation contract: after one warm-up op, repeating the op must not
+// allocate — the arena/buffer-reuse guarantee the step loops advertise.
+//
+// Steady specs pin one worker: the contract is about per-op buffer reuse,
+// not goroutine fan-out (the parallel dispatch paths allocate their range
+// closures by design), and single-worker runs keep the trajectory
+// comparable across machines with different core counts.
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"testing"
+
+	"vlasov6d/internal/fft"
+	"vlasov6d/internal/kernel"
+	"vlasov6d/internal/nbody"
+	"vlasov6d/internal/phase"
+	"vlasov6d/internal/plasma"
+	"vlasov6d/internal/snapio"
+	"vlasov6d/internal/tree"
+	"vlasov6d/internal/vlasov"
+)
+
+// Spec is one named benchmark: New builds the workload and returns the
+// per-op function (plus the bytes one op processes, for MB/s), and the
+// remaining fields describe how to run and judge it.
+type Spec struct {
+	// Name is the stable trajectory identifier, e.g. "kernel/sweep/uz/lat".
+	Name string
+	// Legacy is the matching `go test -bench` name in the repository root
+	// (empty for benches introduced with the harness), recorded so reports
+	// stay traceable to the historical baseline numbers.
+	Legacy string
+	// Steady marks the zero-allocation contract: after a warm-up op,
+	// repeating the op must report 0 allocs/op.
+	Steady bool
+	// Flops is the floating-point work of one op (0 = no Gflops metric).
+	Flops float64
+	// New builds the workload and returns (op, bytesPerOp).
+	New func() (func() error, int64, error)
+}
+
+// Bench runs the spec under the standard testing harness: build, one
+// warm-up op (fills reusable scratch so Steady specs measure their
+// steady state), then the timed loop.
+func (s Spec) Bench(b *testing.B) {
+	op, bytes, err := s.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := op(); err != nil {
+		b.Fatal(err)
+	}
+	if bytes > 0 {
+		b.SetBytes(bytes)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s.Flops > 0 {
+		b.ReportMetric(s.Flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflops")
+	}
+}
+
+// SteadyAllocs measures the steady-state allocations per op: the workload is
+// built, warmed with two ops, and then sampled with testing.AllocsPerRun.
+// Zero is the passing value for Steady specs.
+func (s Spec) SteadyAllocs() (float64, error) {
+	op, _, err := s.New()
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < 2; i++ {
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	var opErr error
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := op(); err != nil && opErr == nil {
+			opErr = err
+		}
+	})
+	return allocs, opErr
+}
+
+// sweepCells is the kernel bench brick volume (the shape the historical
+// Table 1 benches used: a 6³ spatial block of 24³ velocity cubes).
+var sweepDims = []int{6, 6, 6, 24, 24, 24}
+
+func sweepSpec(name, legacy string, axis int, mode kernel.Mode) Spec {
+	return Spec{
+		Name:   name,
+		Legacy: legacy,
+		Steady: true,
+		Flops: func() float64 {
+			cells := 1
+			for _, d := range sweepDims {
+				cells *= d
+			}
+			return float64(kernel.FlopsPerCell * cells)
+		}(),
+		New: func() (func() error, int64, error) {
+			b, err := kernel.NewBrick(sweepDims...)
+			if err != nil {
+				return nil, 0, err
+			}
+			for i := range b.Data {
+				b.Data[i] = float32(1 + 0.3*math.Sin(float64(i)*0.003))
+			}
+			op := func() error { return b.Sweep(axis, mode, 0.3) }
+			return op, int64(4 * len(b.Data)), nil
+		},
+	}
+}
+
+// benchGrid builds the 8³×8³ phase grid of the historical moment and 6D
+// step benches, pinned to one worker.
+func benchGrid() (*phase.Grid, error) {
+	g, err := phase.New(8, 8, 8, [3]int{8, 8, 8}, [3]float64{100, 100, 100}, 3000)
+	if err != nil {
+		return nil, err
+	}
+	g.Fill(func(x, y, z, ux, uy, uz float64) float64 {
+		return math.Exp(-(ux*ux + uy*uy + uz*uz) / (2 * 800 * 800))
+	})
+	g.SetWorkers(1)
+	return g, nil
+}
+
+func benchPlasma() (*plasma.Solver, error) {
+	s, err := plasma.New(64, 256, 4*math.Pi, 8)
+	if err != nil {
+		return nil, err
+	}
+	s.LandauInit(0.01, 0.5, 1)
+	s.SetWorkers(1)
+	return s, nil
+}
+
+// Suite returns the trajectory benchmark set. Workload shapes are frozen —
+// changing one breaks comparability with every committed BENCH_*.json and
+// needs a new spec name instead.
+func Suite() []Spec {
+	specs := []Spec{
+		sweepSpec("kernel/sweep/ux/strided", "BenchmarkTable1_ux_woSIMD", 3, kernel.Strided),
+		sweepSpec("kernel/sweep/ux/contig", "BenchmarkTable1_ux_wSIMD", 3, kernel.Contig),
+		sweepSpec("kernel/sweep/uy/contig", "BenchmarkTable1_uy_wSIMD", 4, kernel.Contig),
+		sweepSpec("kernel/sweep/uz/gather", "BenchmarkTable1_uz_gather", 5, kernel.Contig),
+		sweepSpec("kernel/sweep/uz/lat", "BenchmarkTable1_uz_LAT", 5, kernel.LAT),
+		sweepSpec("kernel/sweep/x/contig", "BenchmarkTable1_x_wSIMD", 0, kernel.Contig),
+
+		{
+			Name:   "phase/moments",
+			Legacy: "BenchmarkMoments",
+			Steady: true,
+			New: func() (func() error, int64, error) {
+				g, err := benchGrid()
+				if err != nil {
+					return nil, 0, err
+				}
+				var m *phase.Moments
+				op := func() error {
+					m = g.ComputeMomentsInto(m)
+					return nil
+				}
+				return op, int64(4 * len(g.Data)), nil
+			},
+		},
+
+		{
+			Name:   "plasma/step",
+			Legacy: "BenchmarkPlasmaStep",
+			Steady: true,
+			New: func() (func() error, int64, error) {
+				s, err := benchPlasma()
+				if err != nil {
+					return nil, 0, err
+				}
+				return func() error { return s.Step(0.05) }, int64(8 * len(s.F)), nil
+			},
+		},
+		{
+			Name:   "plasma/drift",
+			Steady: true,
+			New: func() (func() error, int64, error) {
+				s, err := benchPlasma()
+				if err != nil {
+					return nil, 0, err
+				}
+				return func() error { return s.DriftStep(0.05) }, int64(8 * len(s.F)), nil
+			},
+		},
+		{
+			Name:   "plasma/kick",
+			Steady: true,
+			New: func() (func() error, int64, error) {
+				s, err := benchPlasma()
+				if err != nil {
+					return nil, 0, err
+				}
+				return func() error { return s.KickStep(0.05) }, int64(8 * len(s.F)), nil
+			},
+		},
+
+		{
+			Name:   "vlasov/step6d",
+			Legacy: "BenchmarkVlasovStep6D",
+			Steady: true,
+			New: func() (func() error, int64, error) {
+				g, err := benchGrid()
+				if err != nil {
+					return nil, 0, err
+				}
+				s, err := vlasov.New(g, "slmpp5")
+				if err != nil {
+					return nil, 0, err
+				}
+				s.SetWorkers(1)
+				var acc [3][]float64
+				for d := 0; d < 3; d++ {
+					acc[d] = make([]float64, g.NCells())
+					for c := range acc[d] {
+						acc[d][c] = 30
+					}
+				}
+				op := func() error { return s.Step(0.001, 1.0, acc) }
+				return op, int64(4 * len(g.Data)), nil
+			},
+		},
+
+		{
+			Name:   "pm/fft3",
+			Legacy: "BenchmarkFFT3",
+			New: func() (func() error, int64, error) {
+				const n = 64
+				f3, err := fft.NewFFT3(n, n, n)
+				if err != nil {
+					return nil, 0, err
+				}
+				f3.SetWorkers(1)
+				data := make([]complex128, n*n*n)
+				for i := range data {
+					data[i] = complex(float64(i%17), 0)
+				}
+				op := func() error { return f3.Forward(data) }
+				return op, int64(16 * len(data)), nil
+			},
+		},
+
+		{
+			Name:   "tree/walk",
+			Legacy: "BenchmarkPhantomGRAPEBatched",
+			New: func() (func() error, int64, error) {
+				const n = 3000
+				p, err := nbody.NewParticles(n, 1, [3]float64{100, 100, 100})
+				if err != nil {
+					return nil, 0, err
+				}
+				for i := 0; i < n; i++ {
+					p.Pos[0][i] = math.Mod(float64(i)*17.77, 100)
+					p.Pos[1][i] = math.Mod(float64(i)*5.33, 100)
+					p.Pos[2][i] = math.Mod(float64(i)*29.1, 100)
+				}
+				tr, err := tree.Build(p, tree.Options{Theta: 0.5, RSplit: 5, Soft: 0.1})
+				if err != nil {
+					return nil, 0, err
+				}
+				op := func() error {
+					tr.Accel([3]float64{50, 50, 50})
+					return nil
+				}
+				return op, 0, nil
+			},
+		},
+
+		{
+			Name: "snapio/encode",
+			New: func() (func() error, int64, error) {
+				const n = 4096
+				p, err := nbody.NewParticles(n, 1, [3]float64{100, 100, 100})
+				if err != nil {
+					return nil, 0, err
+				}
+				for i := 0; i < n; i++ {
+					p.Pos[0][i] = math.Mod(float64(i)*17.77, 100)
+					p.Pos[1][i] = math.Mod(float64(i)*5.33, 100)
+					p.Pos[2][i] = math.Mod(float64(i)*29.1, 100)
+					p.Vel[0][i] = float64(i % 13)
+				}
+				g, err := phase.New(4, 4, 4, [3]int{6, 6, 6}, [3]float64{100, 100, 100}, 3000)
+				if err != nil {
+					return nil, 0, err
+				}
+				g.Fill(func(x, y, z, ux, uy, uz float64) float64 { return 1 })
+				snap := &snapio.Snapshot{A: 1, Time: 0.5, Part: p, Grid: g}
+				size, err := snapio.Write(io.Discard, snap)
+				if err != nil {
+					return nil, 0, err
+				}
+				op := func() error {
+					_, err := snapio.Write(io.Discard, snap)
+					return err
+				}
+				return op, size, nil
+			},
+		},
+	}
+	return specs
+}
+
+// Find returns the spec with the given name.
+func Find(name string) (Spec, error) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("perf: unknown spec %q", name)
+}

@@ -1,0 +1,64 @@
+package perf
+
+import "testing"
+
+// TestSuiteShape pins structural invariants of the suite: unique names,
+// buildable workloads, and a working first op for every spec.
+func TestSuiteShape(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Suite() {
+		if seen[s.Name] {
+			t.Fatalf("duplicate spec name %q", s.Name)
+		}
+		seen[s.Name] = true
+		op, bytes, err := s.New()
+		if err != nil {
+			t.Fatalf("%s: New: %v", s.Name, err)
+		}
+		if bytes < 0 {
+			t.Fatalf("%s: negative bytes %d", s.Name, bytes)
+		}
+		if err := op(); err != nil {
+			t.Fatalf("%s: op: %v", s.Name, err)
+		}
+	}
+	if _, err := Find("kernel/sweep/uz/lat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("no/such/bench"); err == nil {
+		t.Fatal("Find accepted an unknown name")
+	}
+}
+
+// TestSteadySpecsZeroAlloc is the allocation gate: every spec that claims
+// the steady-state contract must run allocation-free once warmed. This is
+// the same check `cmd/bench -check-allocs` applies in CI.
+func TestSteadySpecsZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state sampling is slow")
+	}
+	for _, s := range Suite() {
+		if !s.Steady {
+			continue
+		}
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			allocs, err := s.SteadyAllocs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if allocs != 0 {
+				t.Fatalf("steady-state %s allocates %.1f allocs/op, want 0", s.Name, allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkSuite exposes every spec under `go test -bench`, e.g.
+//
+//	go test -bench 'Suite/kernel' -benchmem ./internal/perf
+func BenchmarkSuite(b *testing.B) {
+	for _, s := range Suite() {
+		b.Run(s.Name, s.Bench)
+	}
+}

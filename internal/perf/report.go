@@ -1,0 +1,120 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// Result is one measured run of a spec.
+type Result struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	MBs      float64 `json:"mb_s,omitempty"`
+	Gflops   float64 `json:"gflops,omitempty"`
+}
+
+// Entry pairs a spec with its measurement and, when a prior report is
+// supplied, the number it is being compared against.
+type Entry struct {
+	Name    string  `json:"name"`
+	Legacy  string  `json:"legacy,omitempty"`
+	Steady  bool    `json:"steady"`
+	Before  *Result `json:"before,omitempty"`
+	After   Result  `json:"after"`
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// Report is the committed benchmark trajectory artifact (BENCH_*.json).
+type Report struct {
+	Label      string  `json:"label,omitempty"`
+	GoVersion  string  `json:"go"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Benches    []Entry `json:"benches"`
+}
+
+// NewReport captures the runtime environment for a fresh report.
+func NewReport(label string) *Report {
+	return &Report{
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// RunSpec measures a spec with the standard testing benchmark driver
+// (honours the test.benchtime flag) and converts the result.
+func RunSpec(s Spec) (Result, error) {
+	r := testing.Benchmark(s.Bench)
+	if r.N == 0 {
+		return Result{}, fmt.Errorf("perf: bench %s failed (zero iterations)", s.Name)
+	}
+	res := Result{
+		NsOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsOp: r.AllocsPerOp(),
+		BytesOp:  r.AllocedBytesPerOp(),
+	}
+	if r.Bytes > 0 && r.T > 0 {
+		res.MBs = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	if g, ok := r.Extra["Gflops"]; ok {
+		res.Gflops = g
+	}
+	return res, nil
+}
+
+// Merge attaches before-numbers from a prior report: each entry whose name
+// appears in prev gets prev's After as its Before, plus a speedup ratio.
+func (r *Report) Merge(prev *Report) {
+	byName := make(map[string]Result, len(prev.Benches))
+	for _, e := range prev.Benches {
+		byName[e.Name] = e.After
+	}
+	for i := range r.Benches {
+		e := &r.Benches[i]
+		if before, ok := byName[e.Name]; ok {
+			b := before
+			e.Before = &b
+			if e.After.NsOp > 0 {
+				e.Speedup = b.NsOp / e.After.NsOp
+			}
+		}
+	}
+}
+
+// Sort orders entries by name for stable diffs.
+func (r *Report) Sort() {
+	sort.Slice(r.Benches, func(i, j int) bool { return r.Benches[i].Name < r.Benches[j].Name })
+}
+
+// LoadReport reads a report JSON file.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -34,6 +34,11 @@ type Grid struct {
 	// workers pins the ParallelCells worker count (0 = GOMAXPROCS at call
 	// time, the historical default); set through SetWorkers.
 	workers int
+
+	// partial is the reusable per-cell reduction scratch of TotalMass.
+	// Clone drops it so a snapshot never shares scratch with the evolving
+	// original.
+	partial []float64
 }
 
 // SetWorkers pins the number of goroutines ParallelCells (and everything
@@ -80,6 +85,7 @@ func New(nx, ny, nz int, nu [3]int, box [3]float64, umax float64) (*Grid, error)
 func (g *Grid) Clone() *Grid {
 	c := *g
 	c.Data = append([]float32(nil), g.Data...)
+	c.partial = nil
 	return &c
 }
 
@@ -154,17 +160,48 @@ func (g *Grid) Fill(f func(x, y, z, ux, uy, uz float64) float64) {
 	})
 }
 
-// ParallelCells runs fn over every spatial cell, using all CPUs unless
-// SetWorkers pinned the count.
-func (g *Grid) ParallelCells(fn func(ix, iy, iz int)) {
-	ncell := g.NCells()
+// rangeWorkers resolves the effective worker count for items independent
+// work items (0 = GOMAXPROCS at call time, clamped to items).
+func (g *Grid) rangeWorkers(items int) int {
 	nw := g.workers
 	if nw == 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
-	if nw > ncell {
-		nw = ncell
+	if nw > items {
+		nw = items
 	}
+	return nw
+}
+
+// runCellRanges is the parallel dispatch path of the built-in reductions:
+// [0, ncell) is split into one contiguous range per worker. Callers handle
+// nw ≤ 1 serially first with a direct method call — no closure is created,
+// which keeps steady-state single-worker reductions allocation-free.
+func (g *Grid) runCellRanges(ncell, nw int, run func(lo, hi int)) {
+	var wg sync.WaitGroup
+	chunk := (ncell + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > ncell {
+			hi = ncell
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			run(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelCells runs fn over every spatial cell, using all CPUs unless
+// SetWorkers pinned the count.
+func (g *Grid) ParallelCells(fn func(ix, iy, iz int)) {
+	ncell := g.NCells()
+	nw := g.rangeWorkers(ncell)
 	if nw <= 1 {
 		for c := 0; c < ncell; c++ {
 			fn(c/(g.NY*g.NZ), (c/g.NZ)%g.NY, c%g.NZ)
@@ -205,36 +242,67 @@ type Moments struct {
 	Sigma []float64
 }
 
+// ensureF64 returns s resized to n, reusing the backing array when it fits.
+func ensureF64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
 // ComputeMoments reduces the velocity cubes to their first three moments.
 // The reduction is local per spatial cell — the design property the paper's
 // domain decomposition (§5.1.3) is built around — and parallel over cells.
+// It allocates a fresh Moments every call; step loops that recompute moments
+// every step should use ComputeMomentsInto with a reused buffer instead.
 func (g *Grid) ComputeMoments() *Moments {
+	return g.ComputeMomentsInto(nil)
+}
+
+// ComputeMomentsInto is ComputeMoments writing into m, reusing its slices
+// when they fit (m == nil allocates a new one). Every cell of every field is
+// written, so a recycled Moments never leaks stale values. With a warm m and
+// one worker the reduction is allocation-free.
+func (g *Grid) ComputeMomentsInto(m *Moments) *Moments {
 	ncell := g.NCells()
-	m := &Moments{
-		NX: g.NX, NY: g.NY, NZ: g.NZ,
-		Density: make([]float64, ncell),
-		Sigma:   make([]float64, ncell),
+	if m == nil {
+		m = &Moments{}
 	}
+	m.NX, m.NY, m.NZ = g.NX, g.NY, g.NZ
+	m.Density = ensureF64(m.Density, ncell)
+	m.Sigma = ensureF64(m.Sigma, ncell)
 	for d := 0; d < 3; d++ {
-		m.MeanU[d] = make([]float64, ncell)
+		m.MeanU[d] = ensureF64(m.MeanU[d], ncell)
 	}
 	du3 := g.DU(0) * g.DU(1) * g.DU(2)
-	g.ParallelCells(func(ix, iy, iz int) {
-		cell := g.CellIndex(ix, iy, iz)
-		cube := g.Cube(ix, iy, iz)
+	nw := g.rangeWorkers(ncell)
+	if nw <= 1 {
+		g.momentsRange(m, 0, ncell, du3)
+		return m
+	}
+	g.runCellRanges(ncell, nw, func(lo, hi int) {
+		g.momentsRange(m, lo, hi, du3)
+	})
+	return m
+}
+
+func (g *Grid) momentsRange(m *Moments, lo, hi int, du3 float64) {
+	du0, du1, du2 := g.DU(0), g.DU(1), g.DU(2)
+	for cell := lo; cell < hi; cell++ {
+		cube := g.CubeAt(cell)
 		var mass, px, py, pz, uxx, uyy, uzz float64
 		idx := 0
 		for jx := 0; jx < g.NU[0]; jx++ {
-			ux := g.U(0, jx)
+			ux := -g.UMax + (float64(jx)+0.5)*du0
 			for jy := 0; jy < g.NU[1]; jy++ {
-				uy := g.U(1, jy)
+				uy := -g.UMax + (float64(jy)+0.5)*du1
 				for jz := 0; jz < g.NU[2]; jz++ {
 					f := float64(cube[idx])
 					idx++
 					if f == 0 {
 						continue
 					}
-					uz := g.U(2, jz)
+					uz := -g.UMax + (float64(jz)+0.5)*du2
 					mass += f
 					px += f * ux
 					py += f * uy
@@ -256,31 +324,47 @@ func (g *Grid) ComputeMoments() *Moments {
 				tr = 0
 			}
 			m.Sigma[cell] = math.Sqrt(tr / 3)
+		} else {
+			m.MeanU[0][cell] = 0
+			m.MeanU[1][cell] = 0
+			m.MeanU[2][cell] = 0
+			m.Sigma[cell] = 0
 		}
-	})
-	return m
+	}
 }
 
-// TotalMass returns ∫ f d³x d³u over the block.
+// TotalMass returns ∫ f d³x d³u over the block. The per-cell partial-sum
+// scratch is owned by the grid and reused across calls.
 func (g *Grid) TotalMass() float64 {
 	dv := g.DX(0) * g.DX(1) * g.DX(2) * g.DU(0) * g.DU(1) * g.DU(2)
 	// Accumulate per spatial cell in parallel, then reduce.
 	ncell := g.NCells()
-	partial := make([]float64, ncell)
-	g.ParallelCells(func(ix, iy, iz int) {
-		cell := g.CellIndex(ix, iy, iz)
+	g.partial = ensureF64(g.partial, ncell)
+	partial := g.partial
+	nw := g.rangeWorkers(ncell)
+	if nw <= 1 {
+		g.massRange(partial, 0, ncell)
+	} else {
+		g.runCellRanges(ncell, nw, func(lo, hi int) {
+			g.massRange(partial, lo, hi)
+		})
+	}
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return total * dv
+}
+
+func (g *Grid) massRange(partial []float64, lo, hi int) {
+	for cell := lo; cell < hi; cell++ {
 		cube := g.CubeAt(cell)
 		s := 0.0
 		for _, v := range cube {
 			s += float64(v)
 		}
 		partial[cell] = s
-	})
-	total := 0.0
-	for _, p := range partial {
-		total += p
 	}
-	return total * dv
 }
 
 // MinValue returns the minimum of f over the block (negative values indicate
@@ -321,29 +405,52 @@ type DispersionTensor struct {
 // collapse (isotropic for the initial Fermi-Dirac state, anisotropic once
 // phase mixing starts).
 func (g *Grid) ComputeDispersionTensor() *DispersionTensor {
+	return g.ComputeDispersionTensorInto(nil)
+}
+
+// ComputeDispersionTensorInto is ComputeDispersionTensor writing into dt,
+// reusing its component slices when they fit (dt == nil allocates a new
+// one). Every cell of every component is written, so a recycled tensor never
+// leaks stale values.
+func (g *Grid) ComputeDispersionTensorInto(dt *DispersionTensor) *DispersionTensor {
 	ncell := g.NCells()
-	dt := &DispersionTensor{NX: g.NX, NY: g.NY, NZ: g.NZ}
-	for i := range dt.S {
-		dt.S[i] = make([]float64, ncell)
+	if dt == nil {
+		dt = &DispersionTensor{}
 	}
-	g.ParallelCells(func(ix, iy, iz int) {
-		cell := g.CellIndex(ix, iy, iz)
-		cube := g.Cube(ix, iy, iz)
+	dt.NX, dt.NY, dt.NZ = g.NX, g.NY, g.NZ
+	for i := range dt.S {
+		dt.S[i] = ensureF64(dt.S[i], ncell)
+	}
+	nw := g.rangeWorkers(ncell)
+	if nw <= 1 {
+		g.dispersionRange(dt, 0, ncell)
+		return dt
+	}
+	g.runCellRanges(ncell, nw, func(lo, hi int) {
+		g.dispersionRange(dt, lo, hi)
+	})
+	return dt
+}
+
+func (g *Grid) dispersionRange(dt *DispersionTensor, lo, hi int) {
+	du0, du1, du2 := g.DU(0), g.DU(1), g.DU(2)
+	for cell := lo; cell < hi; cell++ {
+		cube := g.CubeAt(cell)
 		var mass float64
 		var m1 [3]float64
 		var m2 [6]float64 // xx, yy, zz, xy, xz, yz
 		idx := 0
 		for jx := 0; jx < g.NU[0]; jx++ {
-			ux := g.U(0, jx)
+			ux := -g.UMax + (float64(jx)+0.5)*du0
 			for jy := 0; jy < g.NU[1]; jy++ {
-				uy := g.U(1, jy)
+				uy := -g.UMax + (float64(jy)+0.5)*du1
 				for jz := 0; jz < g.NU[2]; jz++ {
 					f := float64(cube[idx])
 					idx++
 					if f == 0 {
 						continue
 					}
-					uz := g.U(2, jz)
+					uz := -g.UMax + (float64(jz)+0.5)*du2
 					mass += f
 					m1[0] += f * ux
 					m1[1] += f * uy
@@ -358,7 +465,10 @@ func (g *Grid) ComputeDispersionTensor() *DispersionTensor {
 			}
 		}
 		if mass <= 0 {
-			return
+			for i := range dt.S {
+				dt.S[i][cell] = 0
+			}
+			continue
 		}
 		mx, my, mz := m1[0]/mass, m1[1]/mass, m1[2]/mass
 		dt.S[0][cell] = m2[0]/mass - mx*mx
@@ -367,8 +477,7 @@ func (g *Grid) ComputeDispersionTensor() *DispersionTensor {
 		dt.S[3][cell] = m2[3]/mass - mx*my
 		dt.S[4][cell] = m2[4]/mass - mx*mz
 		dt.S[5][cell] = m2[5]/mass - my*mz
-	})
-	return dt
+	}
 }
 
 // Anisotropy returns a scalar anisotropy measure per cell: the RMS of the

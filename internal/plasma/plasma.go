@@ -46,10 +46,14 @@ type Solver struct {
 	rho    []float64
 	e      []float64
 	buf    []float64
+	fieldC []complex128
 	// workers is the intra-step parallelism of the drift and kick sweeps
 	// (default GOMAXPROCS, pinned with SetWorkers). Lines are independent,
 	// so the worker count never changes the computed physics.
 	workers int
+	// pool holds the parallel-path sweep workers, grown on demand and
+	// reused across steps (schemes hold scratch and are cloned per worker).
+	pool []*pworker
 }
 
 // New allocates a solver with the paper's SL-MPP5 advection. nx and nv
@@ -89,6 +93,7 @@ func NewWithScheme(nx, nv int, boxL, vmax float64, scheme string) (*Solver, erro
 		rho:     make([]float64, nx),
 		e:       make([]float64, nx),
 		buf:     make([]float64, nx),
+		fieldC:  make([]complex128, nx),
 		workers: runtime.GOMAXPROCS(0),
 	}, nil
 }
@@ -117,24 +122,39 @@ type pworker struct {
 	open *advect.SLMPP5
 }
 
-// parallelN distributes [0, n) over the solver's workers and returns the
-// first error a sweep reports (a failing worker abandons its range). The
-// serial path reuses the solver's own scratch (no per-step allocation);
-// parallel workers clone the schemes, exactly as the 6D solver does.
-func (s *Solver) parallelN(n int, fn func(w *pworker, i int) error) error {
+// worker returns parallel worker k's scratch, growing the pool on demand.
+// Pool workers persist across steps, so steady-state parallel stepping stops
+// re-cloning schemes and reallocating gather lines every sweep.
+func (s *Solver) worker(k int) *pworker {
+	for len(s.pool) <= k {
+		s.pool = append(s.pool, &pworker{
+			line: make([]float64, s.NX),
+			per:  s.per.Clone(),
+			open: advect.NewSLMPP5(),
+		})
+	}
+	return s.pool[k]
+}
+
+// clampWorkers bounds the sweep parallelism by the number of independent
+// lines.
+func (s *Solver) clampWorkers(n int) int {
 	nw := s.workers
 	if nw > n {
 		nw = n
 	}
-	if nw <= 1 {
-		w := pworker{line: s.buf, per: s.per, open: s.open}
-		for i := 0; i < n; i++ {
-			if err := fn(&w, i); err != nil {
-				return err
-			}
-		}
-		return nil
+	if nw < 1 {
+		nw = 1
 	}
+	return nw
+}
+
+// runRanges is the parallel dispatch path: [0, n) is split into one
+// contiguous range per worker and the first reported error wins (a failing
+// worker abandons its range). Callers handle nw ≤ 1 serially first with a
+// direct range call on the solver's own scratch — no closures, goroutines or
+// scheme clones — which keeps the steady-state serial step allocation-free.
+func (s *Solver) runRanges(n, nw int, run func(w *pworker, lo, hi int) error) error {
 	var wg sync.WaitGroup
 	var firstErr error
 	var errMu sync.Mutex
@@ -148,24 +168,16 @@ func (s *Solver) parallelN(n int, fn func(w *pworker, i int) error) error {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w *pworker, lo, hi int) {
 			defer wg.Done()
-			w := pworker{
-				line: make([]float64, len(s.buf)),
-				per:  s.per.Clone(),
-				open: advect.NewSLMPP5(),
-			}
-			for i := lo; i < hi; i++ {
-				if err := fn(&w, i); err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-					return
+			if err := run(w, lo, hi); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
 				}
+				errMu.Unlock()
 			}
-		}(lo, hi)
+		}(s.worker(k), lo, hi)
 	}
 	wg.Wait()
 	return firstErr
@@ -214,7 +226,7 @@ func (s *Solver) Density() []float64 {
 // The mean of E is zero (no external field).
 func (s *Solver) ElectricField() []float64 {
 	rho := s.Density()
-	data := make([]complex128, s.NX)
+	data := s.fieldC
 	mean := 0.0
 	for _, v := range rho {
 		mean += v
@@ -351,10 +363,21 @@ func (s *Solver) Diagnostics() runner.Diagnostics {
 // sweep in parallel over the solver's workers.
 func (s *Solver) drift(dt float64) error {
 	dx := s.DX()
-	return s.parallelN(s.NV, func(w *pworker, j int) error {
+	nw := s.clampWorkers(s.NV)
+	if nw <= 1 {
+		w := pworker{line: s.buf, per: s.per, open: s.open}
+		return s.driftRange(&w, 0, s.NV, dt, dx)
+	}
+	return s.runRanges(s.NV, nw, func(w *pworker, lo, hi int) error {
+		return s.driftRange(w, lo, hi, dt, dx)
+	})
+}
+
+func (s *Solver) driftRange(w *pworker, lo, hi int, dt, dx float64) error {
+	for j := lo; j < hi; j++ {
 		c := s.V(j) * dt / dx
 		if c == 0 {
-			return nil
+			continue
 		}
 		line := w.line[:s.NX]
 		for i := 0; i < s.NX; i++ {
@@ -366,8 +389,8 @@ func (s *Solver) drift(dt float64) error {
 		for i := 0; i < s.NX; i++ {
 			s.F[i*s.NV+j] = line[i]
 		}
-		return nil
-	})
+	}
+	return nil
 }
 
 // kick advances ∂f/∂t − E ∂f/∂v = 0: each spatial row is an open v-line with
@@ -376,15 +399,37 @@ func (s *Solver) drift(dt float64) error {
 func (s *Solver) kick(dt float64) error {
 	e := s.ElectricField()
 	dv := s.DV()
-	return s.parallelN(s.NX, func(w *pworker, i int) error {
-		c := -e[i] * dt / dv
-		if c == 0 {
-			return nil
-		}
-		row := s.F[i*s.NV : (i+1)*s.NV]
-		return w.open.StepOpen(row, c)
+	nw := s.clampWorkers(s.NX)
+	if nw <= 1 {
+		w := pworker{line: s.buf, per: s.per, open: s.open}
+		return s.kickRange(&w, 0, s.NX, dt, dv, e)
+	}
+	return s.runRanges(s.NX, nw, func(w *pworker, lo, hi int) error {
+		return s.kickRange(w, lo, hi, dt, dv, e)
 	})
 }
+
+func (s *Solver) kickRange(w *pworker, lo, hi int, dt, dv float64, e []float64) error {
+	for i := lo; i < hi; i++ {
+		c := -e[i] * dt / dv
+		if c == 0 {
+			continue
+		}
+		row := s.F[i*s.NV : (i+1)*s.NV]
+		if err := w.open.StepOpen(row, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DriftStep applies one full x-drift sweep and KickStep one full v-kick
+// (field refresh included) in isolation — the two halves of the split
+// operator, exposed so the bench harness can profile them separately.
+func (s *Solver) DriftStep(dt float64) error { return s.drift(dt) }
+
+// KickStep applies one v-kick sweep with a fresh field solve; see DriftStep.
+func (s *Solver) KickStep(dt float64) error { return s.kick(dt) }
 
 // LandauInit sets the standard Landau-damping initial condition
 // f = (1 + α·cos(kx))·Maxwellian(v; vth).

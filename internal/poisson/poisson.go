@@ -171,17 +171,30 @@ func (s *Solver) Gradient(phi []float64, dim int, g []float64) error {
 }
 
 // Accel computes the acceleration field −∇φ into three freshly allocated
-// component arrays.
+// component arrays. Step loops should use AccelInto with a reused buffer.
 func (s *Solver) Accel(phi []float64) ([3][]float64, error) {
 	var acc [3][]float64
-	for d := 0; d < 3; d++ {
-		acc[d] = make([]float64, s.Size())
-		if err := s.Gradient(phi, d, acc[d]); err != nil {
-			return acc, err
-		}
-		for i := range acc[d] {
-			acc[d][i] = -acc[d][i]
-		}
+	if err := s.AccelInto(phi, &acc); err != nil {
+		return acc, err
 	}
 	return acc, nil
+}
+
+// AccelInto computes −∇φ into acc, reusing each component slice when it
+// already has the mesh size (missing or mis-sized components are allocated).
+func (s *Solver) AccelInto(phi []float64, acc *[3][]float64) error {
+	n := s.Size()
+	for d := 0; d < 3; d++ {
+		if len(acc[d]) != n {
+			acc[d] = make([]float64, n)
+		}
+		if err := s.Gradient(phi, d, acc[d]); err != nil {
+			return err
+		}
+		g := acc[d]
+		for i := range g {
+			g[i] = -g[i]
+		}
+	}
+	return nil
 }

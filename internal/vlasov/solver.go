@@ -38,6 +38,35 @@ type Solver struct {
 	BoundaryLoss float64
 
 	mu sync.Mutex // guards BoundaryLoss accumulation from workers
+
+	// pool holds per-worker sweep scratch (gather line + scheme clones),
+	// grown on demand and reused across steps so steady-state stepping
+	// allocates nothing.
+	pool []*worker
+	// cfl is the reusable per-velocity-index CFL table of driftAxis.
+	cfl []float64
+	// kg/dg carry the geometry of the sweep in flight: written before the
+	// serial or parallel range calls of one axis, read-only during them
+	// (axes advance strictly one at a time).
+	kg kickGeom
+	dg driftGeom
+}
+
+// kickGeom is the line geometry of one velocity-axis kick sweep.
+type kickGeom struct {
+	dt, du               float64
+	acc                  []float64
+	nLine, stride, nPerp int
+	d                    int
+}
+
+// driftGeom is the line geometry of one spatial-axis drift sweep.
+type driftGeom struct {
+	cfl        []float64
+	nLine      int
+	cellStride int
+	ncube      int
+	d          int
 }
 
 // New creates a solver using the named advection scheme ("slmpp5" for the
@@ -171,7 +200,6 @@ func (s *Solver) Drift(dt, a float64) error {
 // the advection velocity being −∂φ/∂x = acc).
 func (s *Solver) kickAxis(d int, dt float64, accD []float64) error {
 	g := s.g
-	du := g.DU(d)
 	nu := g.NU
 	// Line geometry within a cube for axis d.
 	var nLine, stride, nPerp int
@@ -183,47 +211,58 @@ func (s *Solver) kickAxis(d int, dt float64, accD []float64) error {
 	default:
 		nLine, stride, nPerp = nu[2], 1, nu[0]*nu[1]
 	}
-	var firstErr error
-	var errMu sync.Mutex
-	s.parallelCells(func(w *worker, cell int) {
-		c := accD[cell] * dt / du
+	s.kg = kickGeom{dt: dt, du: g.DU(d), acc: accD, nLine: nLine, stride: stride, nPerp: nPerp, d: d}
+	ncell := g.NCells()
+	nw := s.clampWorkers(ncell)
+	if nw <= 1 {
+		w := s.worker(0)
+		err := s.kickRange(w, 0, ncell)
+		s.addLoss(w)
+		return err
+	}
+	return s.runRanges(ncell, nw, (*Solver).kickRange)
+}
+
+// kickRange advects the velocity cubes of spatial cells [lo, hi) along the
+// axis described by s.kg.
+func (s *Solver) kickRange(w *worker, lo, hi int) error {
+	g := s.g
+	kg := &s.kg
+	nu := g.NU
+	for cell := lo; cell < hi; cell++ {
+		c := kg.acc[cell] * kg.dt / kg.du
 		if c == 0 {
-			return
+			continue
 		}
 		cube := g.CubeAt(cell)
 		loss := 0.0
-		for p := 0; p < nPerp; p++ {
-			off := perpOffset(d, p, nu)
-			line := w.line[:nLine]
-			for i := 0; i < nLine; i++ {
-				line[i] = float64(cube[off+i*stride])
+		for p := 0; p < kg.nPerp; p++ {
+			off := perpOffset(kg.d, p, nu)
+			line := w.line[:kg.nLine]
+			for i := 0; i < kg.nLine; i++ {
+				line[i] = float64(cube[off+i*kg.stride])
 			}
 			var before float64
 			for _, v := range line {
 				before += v
 			}
 			if err := w.open.StepOpen(line, c); err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
-				return
+				return err
 			}
 			var after float64
 			for _, v := range line {
 				after += v
 			}
 			loss += before - after
-			for i := 0; i < nLine; i++ {
-				cube[off+i*stride] = float32(line[i])
+			for i := 0; i < kg.nLine; i++ {
+				cube[off+i*kg.stride] = float32(line[i])
 			}
 		}
 		if loss != 0 {
 			w.loss += loss // raw Σf; converted to mass units in addLoss
 		}
-	})
-	return firstErr
+	}
+	return nil
 }
 
 // perpOffset returns the cube offset of the p-th perpendicular line for
@@ -248,10 +287,12 @@ func (s *Solver) driftAxis(d int, dt, a float64) error {
 	g := s.g
 	dx := g.DX(d)
 	nu := g.NU
-	ncube := g.NCube()
-	// Precompute CFL per velocity index along d.
+	// Precompute CFL per velocity index along d into the reusable table.
 	nud := nu[d]
-	cfl := make([]float64, nud)
+	if cap(s.cfl) < nud {
+		s.cfl = make([]float64, nud)
+	}
+	cfl := s.cfl[:nud]
 	for j := 0; j < nud; j++ {
 		cfl[j] = g.U(d, j) * dt / (a * a * dx)
 	}
@@ -268,38 +309,48 @@ func (s *Solver) driftAxis(d int, dt, a float64) error {
 	if nLine < 6 {
 		return fmt.Errorf("vlasov: spatial extent %d along axis %d < 6 (SL-MPP5 stencil)", nLine, d)
 	}
-	var firstErr error
-	var errMu sync.Mutex
+	s.dg = driftGeom{cfl: cfl, nLine: nLine, cellStride: cellStride, ncube: g.NCube(), d: d}
 	// Parallelise over perpendicular spatial columns; each column sweeps all
 	// velocity elements.
-	s.parallelN(nPerpSpace, func(w *worker, p int) {
-		base := spatialPerpOffset(d, p, g)
-		line := w.line[:nLine]
-		for e := 0; e < ncube; e++ {
-			j := velIndexAlong(d, e, nu)
-			c := cfl[j]
+	nw := s.clampWorkers(nPerpSpace)
+	if nw <= 1 {
+		w := s.worker(0)
+		err := s.driftRange(w, 0, nPerpSpace)
+		s.addLoss(w)
+		return err
+	}
+	return s.runRanges(nPerpSpace, nw, (*Solver).driftRange)
+}
+
+// driftRange advects perpendicular spatial columns [lo, hi) along the axis
+// described by s.dg.
+func (s *Solver) driftRange(w *worker, lo, hi int) error {
+	g := s.g
+	dg := &s.dg
+	nu := g.NU
+	str := dg.cellStride * dg.ncube
+	for p := lo; p < hi; p++ {
+		base := spatialPerpOffset(dg.d, p, g)
+		line := w.line[:dg.nLine]
+		for e := 0; e < dg.ncube; e++ {
+			j := velIndexAlong(dg.d, e, nu)
+			c := dg.cfl[j]
 			if c == 0 {
 				continue
 			}
-			off := base*ncube + e
-			str := cellStride * ncube
-			for i := 0; i < nLine; i++ {
+			off := base*dg.ncube + e
+			for i := 0; i < dg.nLine; i++ {
 				line[i] = float64(g.Data[off+i*str])
 			}
 			if err := w.per.Step(line, c); err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
-				return
+				return err
 			}
-			for i := 0; i < nLine; i++ {
+			for i := 0; i < dg.nLine; i++ {
 				g.Data[off+i*str] = float32(line[i])
 			}
 		}
-	})
-	return firstErr
+	}
+	return nil
 }
 
 // spatialPerpOffset returns the flat spatial cell index of the p-th
@@ -352,26 +403,39 @@ func (s *Solver) newWorker() *worker {
 	}
 }
 
-// parallelCells distributes spatial cells across workers.
-func (s *Solver) parallelCells(fn func(w *worker, cell int)) {
-	s.parallelN(s.g.NCells(), fn)
+// worker returns worker k's scratch, growing the pool on demand. Workers
+// persist for the life of the solver (the grid's extents are fixed), so
+// steady-state stepping stops re-cloning schemes and reallocating lines.
+func (s *Solver) worker(k int) *worker {
+	for len(s.pool) <= k {
+		s.pool = append(s.pool, s.newWorker())
+	}
+	return s.pool[k]
 }
 
-// parallelN distributes [0,n) across workers and collects boundary loss.
-func (s *Solver) parallelN(n int, fn func(w *worker, i int)) {
+// clampWorkers bounds the sweep parallelism by the number of independent
+// work items.
+func (s *Solver) clampWorkers(items int) int {
 	nw := s.workers
-	if nw > n {
-		nw = n
+	if nw > items {
+		nw = items
 	}
-	if nw <= 1 {
-		w := s.newWorker()
-		for i := 0; i < n; i++ {
-			fn(w, i)
-		}
-		s.addLoss(w)
-		return
+	if nw < 1 {
+		nw = 1
 	}
+	return nw
+}
+
+// runRanges is the parallel dispatch path of one axis sweep: [0, n) splits
+// into one contiguous range per worker, each running the range method with
+// its pooled scratch; the first reported error wins and every worker's
+// boundary loss is folded in. Callers handle nw ≤ 1 with a direct serial
+// range call — no goroutines or closures — which keeps the steady-state
+// single-worker step allocation-free.
+func (s *Solver) runRanges(n, nw int, run func(*Solver, *worker, int, int) error) error {
 	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
 	chunk := (n + nw - 1) / nw
 	for k := 0; k < nw; k++ {
 		lo, hi := k*chunk, (k+1)*chunk
@@ -382,16 +446,20 @@ func (s *Solver) parallelN(n int, fn func(w *worker, i int)) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w *worker, lo, hi int) {
 			defer wg.Done()
-			w := s.newWorker()
-			for i := lo; i < hi; i++ {
-				fn(w, i)
+			if err := run(s, w, lo, hi); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
 			}
 			s.addLoss(w)
-		}(lo, hi)
+		}(s.worker(k), lo, hi)
 	}
 	wg.Wait()
+	return firstErr
 }
 
 func (s *Solver) addLoss(w *worker) {
