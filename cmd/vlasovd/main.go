@@ -15,6 +15,8 @@
 //	     -d '{"scenario":"landau","params":{"nx":64,"nv":128}}'
 //	curl -s -H 'Authorization: Bearer <key>' localhost:8080/v1/jobs/0 | jq .
 //	curl -N -H 'Authorization: Bearer <key>' localhost:8080/v1/jobs/0/diagnostics
+//	curl -N -H 'Authorization: Bearer <key>' -H 'Last-Event-ID: 42' \
+//	     localhost:8080/v1/jobs/0/diagnostics     # resume, replaying events 43+
 //	curl -s -H 'Authorization: Bearer <key>' localhost:8080/v1/jobs/0/checkpoints | jq .
 //	curl -s localhost:8080/metrics                        # unauthenticated
 //
@@ -61,6 +63,7 @@ func main() {
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before running jobs are cancelled")
 		storeDir  = flag.String("store-dir", "", "durable job-journal directory (empty = in-memory only; with it, restarts recover unfinished jobs)")
 		keys      = flag.String("keys", "", "tenant key file enabling bearer-key auth and per-tenant quotas (empty = open access)")
+		diagRing  = flag.Int("diag-ring", 0, "per-job diagnostics replay ring size (0 = 512): how far back an SSE client can resume with Last-Event-ID before hitting an explicit gap")
 	)
 	flag.Parse()
 
@@ -80,6 +83,7 @@ func main() {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		Retries:         *retries,
+		RingSize:        *diagRing,
 		StoreDir:        *storeDir,
 		Tenants:         reg,
 	})

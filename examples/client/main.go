@@ -234,19 +234,56 @@ func getStatus(base string, id int) (jobStatus, error) {
 }
 
 // tailDiagnostics streams one job's SSE diagnostics to the log until the
-// terminal "done" event, printing every ~20th step.
+// terminal "done" event, printing every ~20th step. The daemon stamps each
+// event with an `id:` line; the client remembers the last one it saw and,
+// when the connection drops mid-run, reconnects with Last-Event-ID so the
+// daemon replays the missed window from the job's ring — no event is seen
+// twice and none is silently skipped (an evicted window arrives as an
+// explicit "gap" event instead).
 func tailDiagnostics(base string, id int) {
-	resp, err := get(fmt.Sprintf("%s/v1/jobs/%d/diagnostics", base, id))
-	if err != nil {
-		log.Printf("diagnostics #%d: %v", id, err)
-		return
-	}
-	defer resp.Body.Close()
-	scanner := bufio.NewScanner(resp.Body)
-	var event string
+	var lastEventID string
 	lastPrinted := -20
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Second)
+			log.Printf("#%d reconnecting diagnostics (Last-Event-ID %s)", id, lastEventID)
+		}
+		req, err := http.NewRequest(http.MethodGet,
+			fmt.Sprintf("%s/v1/jobs/%d/diagnostics", base, id), nil)
+		if err != nil {
+			log.Printf("diagnostics #%d: %v", id, err)
+			return
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		if lastEventID != "" {
+			req.Header.Set("Last-Event-ID", lastEventID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Printf("diagnostics #%d: %v", id, err)
+			continue
+		}
+		terminal := tailOnce(resp.Body, id, &lastEventID, &lastPrinted)
+		resp.Body.Close()
+		if terminal {
+			return
+		}
+	}
+}
+
+// tailOnce consumes one SSE connection, tracking the resume cursor, and
+// reports whether the terminal event arrived (true = stop reconnecting).
+func tailOnce(body io.Reader, id int, lastEventID *string, lastPrinted *int) bool {
+	scanner := bufio.NewScanner(body)
+	var event string
 	for scanner.Scan() {
 		line := scanner.Text()
+		if strings.HasPrefix(line, "id: ") {
+			*lastEventID = strings.TrimPrefix(line, "id: ")
+			continue
+		}
 		if strings.HasPrefix(line, "event: ") {
 			event = strings.TrimPrefix(line, "event: ")
 			continue
@@ -262,15 +299,18 @@ func tailDiagnostics(base string, id int) {
 				Clock       float64 `json:"clock"`
 				FieldEnergy float64 `json:"field_energy"`
 			}
-			if json.Unmarshal([]byte(data), &d) == nil && d.Step >= lastPrinted+20 {
+			if json.Unmarshal([]byte(data), &d) == nil && d.Step >= *lastPrinted+20 {
 				log.Printf("#%d step %5d  t = %7.3f  E² = %.3e", id, d.Step, d.Clock, d.FieldEnergy)
-				lastPrinted = d.Step
+				*lastPrinted = d.Step
 			}
+		case "gap":
+			log.Printf("#%d gap: %s", id, data)
 		case "status":
 			log.Printf("#%d %s", id, data)
 		case "done":
 			log.Printf("#%d terminal: %s", id, data)
-			return
+			return true
 		}
 	}
+	return false
 }

@@ -64,8 +64,9 @@ func (b Backpressure) String() string {
 const DefaultAsyncBuffer = 64
 
 type asyncOptions struct {
-	buffer int
-	policy Backpressure
+	buffer     int
+	policy     Backpressure
+	dropNotify func(dropped int64)
 }
 
 // AsyncOption tunes the async observer pipeline.
@@ -80,6 +81,19 @@ func WithAsyncBuffer(n int) AsyncOption {
 // WithBackpressure selects the full-queue policy (default Block).
 func WithBackpressure(p Backpressure) AsyncOption {
 	return func(o *asyncOptions) { o.policy = p }
+}
+
+// WithDropNotify reports DropOldest evictions while the run is still live:
+// fn receives the number of observations evicted since its previous call.
+// Report.DroppedObservations only totals the loss after the run — a
+// monitoring plane streaming diagnostics to remote watchers needs to know
+// *during* the run that its view turned lossy, so it can mark the gap
+// instead of presenting a seamless-but-wrong sequence. fn runs on the
+// pipeline goroutine (never the hot step loop), before the delivery that
+// follows the eviction, and is skipped entirely under Block (which never
+// drops).
+func WithDropNotify(fn func(dropped int64)) AsyncOption {
+	return func(o *asyncOptions) { o.dropNotify = fn }
 }
 
 // WithAsyncObserver starts the async pipeline for the run and delivers a
@@ -138,11 +152,13 @@ type pipeline struct {
 	ckptDir    string
 	ckptKeep   int
 	ckptNotify func(path string, clock float64)
+	dropNotify func(dropped int64)
 
 	// Consumer-side results, merged into the Report after drain.
-	written []string
-	bytes   int64
-	dropped int64
+	written  []string
+	bytes    int64
+	dropped  int64
+	notified int64 // drops already reported through dropNotify
 
 	done chan struct{}
 }
@@ -155,6 +171,7 @@ func newPipeline(o *options) *pipeline {
 		ckptDir:    o.ckptDir,
 		ckptKeep:   o.ckptKeep,
 		ckptNotify: o.ckptNotify,
+		dropNotify: o.asyncOpts.dropNotify,
 		done:       make(chan struct{}),
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -237,11 +254,18 @@ func (p *pipeline) consume() {
 		ev := p.queue[0]
 		p.queue = p.queue[1:]
 		failed := p.err != nil
+		newDrops := p.dropped - p.notified
+		p.notified = p.dropped
 		p.cond.Broadcast()
 		p.mu.Unlock()
 
 		if failed {
 			continue
+		}
+		// Surface evictions before the event that follows them, so a live
+		// consumer can mark the gap at the position it actually occurred.
+		if newDrops > 0 && p.dropNotify != nil {
+			p.dropNotify(newDrops)
 		}
 		var err error
 		if ev.ckpt != nil {

@@ -390,3 +390,74 @@ func TestCheckpointNotifyBothPaths(t *testing.T) {
 		})
 	}
 }
+
+// TestAsyncDropNotify: the consumer-side eviction notifier must account
+// for every DropOldest eviction exactly once, and must see drops as they
+// happen (not only at exit), so a live surface can report the loss.
+func TestAsyncDropNotify(t *testing.T) {
+	var mu sync.Mutex
+	var notified int64
+	var calls int
+	block := make(chan struct{})
+	first := true
+	f := &fake{dt: 0.1}
+	rep, err := Run(context.Background(), f, 1e9, WithMaxSteps(30),
+		WithObserver(func(step int, _ Solver) error {
+			if step == 29 {
+				close(block)
+			}
+			return nil
+		}),
+		WithAsyncObserver(func(step int, d Diagnostics) error {
+			if first {
+				first = false
+				<-block // hold the pipeline so the queue overflows
+			}
+			return nil
+		}, WithAsyncBuffer(4), WithBackpressure(DropOldest),
+			WithDropNotify(func(dropped int64) {
+				mu.Lock()
+				notified += dropped
+				calls++
+				mu.Unlock()
+			})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedObservations == 0 {
+		t.Fatal("test needs drops to exercise the notifier")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if notified != rep.DroppedObservations {
+		t.Fatalf("notifier saw %d drops, report says %d", notified, rep.DroppedObservations)
+	}
+	if calls == 0 {
+		t.Fatal("notifier never called")
+	}
+}
+
+// TestAsyncDropNotifyQuietWithoutDrops: no evictions → no calls.
+func TestAsyncDropNotifyQuietWithoutDrops(t *testing.T) {
+	var mu sync.Mutex
+	var calls int
+	f := &fake{dt: 0.1}
+	rep, err := Run(context.Background(), f, 1e9, WithMaxSteps(10),
+		WithAsyncObserver(func(int, Diagnostics) error { return nil },
+			WithDropNotify(func(int64) {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+			})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedObservations != 0 {
+		t.Fatalf("unexpected drops: %d", rep.DroppedObservations)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 0 {
+		t.Fatalf("notifier called %d times with zero drops", calls)
+	}
+}

@@ -89,6 +89,7 @@ type streamJob struct {
 type jobRecord struct {
 	name     string
 	priority int
+	until    float64
 	status   Status
 	attempt  int
 	err      error
@@ -110,6 +111,9 @@ type JobSnapshot struct {
 	Name string
 	// Priority echoes the job's dispatch priority.
 	Priority int
+	// Until echoes the job's clock target — the denominator a monitoring
+	// plane needs to turn observed clock progress into an ETA.
+	Until float64
 	// Status is the lifecycle state. A cancelled-while-queued job reports
 	// Cancelled as soon as Cancel is called, even though its Result is
 	// delivered only when a worker pops it from the queue.
@@ -240,6 +244,7 @@ func (s *Stream) SubmitID(job Job) (int, error) {
 	s.jobs[id] = &jobRecord{
 		name:     job.Name,
 		priority: job.Priority,
+		until:    job.Until,
 		status:   Queued,
 		ctx:      jctx,
 		cancel:   jcancel,
@@ -311,7 +316,7 @@ func (r *jobRecord) snapshotLocked(id int) JobSnapshot {
 	if st == Queued && r.ctx.Err() != nil {
 		st = Cancelled
 	}
-	return JobSnapshot{ID: id, Name: r.name, Priority: r.priority,
+	return JobSnapshot{ID: id, Name: r.name, Priority: r.priority, Until: r.until,
 		Status: st, Attempt: r.attempt, Err: r.err}
 }
 

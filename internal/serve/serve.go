@@ -17,7 +17,20 @@
 //
 // Diagnostics ride the runner's async observer pipeline (value snapshots
 // off the hot step loop, DropOldest back-pressure), so a slow or absent
-// SSE client never stalls a solver. Shutdown is graceful: Drain stops
+// SSE client never stalls a solver. Delivery is replayable: every event a
+// job emits is stamped with a monotonic sequence number and retained in a
+// bounded per-job ring (Config.RingSize), and the SSE stream carries the
+// sequence as its `id:` line. A client that disconnects mid-run resumes
+// with a `Last-Event-ID` header (or ?last_event_id=): the handler replays
+// the missed window from the ring before going live, delivering every
+// retained event exactly once. Loss is never silent — when the requested
+// window has been evicted from the ring, or the observer pipeline dropped
+// observations under back-pressure, the stream carries an explicit "gap"
+// event with the missed count. Running jobs also report an eta_seconds
+// projection (internal/machine's online TTS estimator fed by the same
+// diagnostics) in their status documents.
+//
+// Shutdown is graceful: Drain stops
 // intake (submissions get 503 with Retry-After), lets queued and running
 // jobs finish — checkpointing as they go — until the deadline, then
 // cancels the remainder through the scheduler's own cancellation path and
@@ -32,10 +45,16 @@
 // job under its original id; because a recovered job's name — and so its
 // checkpoint directory — derives from the same canonical spec, the
 // scheduler's restore path resumes it from its newest snapshot instead of
-// re-running it. A shutdown cancellation is deliberately NOT journaled as
-// terminal — replay IS the recovery path — while a client's DELETE is
+// re-running it. Recovery resolves journaled specs concurrently (bounded
+// by the core budget) so a large journal does not stall startup, then
+// submits in journal order so priorities and FIFO ties replay
+// deterministically. A shutdown cancellation is deliberately NOT journaled
+// as terminal — replay IS the recovery path — while a client's DELETE is
 // journaled at cancel time, so a cancelled job stays cancelled across a
-// crash.
+// crash. Terminal jobs additionally land in a persistent artifact index
+// (store.Index): after the bounded in-memory history evicts a finished
+// job, GET /v1/jobs/{id} and its checkpoints listing keep answering from
+// the index, so a checkpoint written yesterday stays discoverable today.
 //
 // Tenancy (Config.Tenants) authenticates every /v1 request against a
 // bearer-key registry: unknown or missing keys get 401, another tenant's
@@ -53,10 +72,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -64,6 +85,7 @@ import (
 	"time"
 
 	"vlasov6d/internal/catalog"
+	"vlasov6d/internal/machine"
 	"vlasov6d/internal/runner"
 	"vlasov6d/internal/sched"
 	"vlasov6d/internal/snapio"
@@ -92,8 +114,14 @@ type Config struct {
 	Retries int
 	// DiagBuffer is the per-job async diagnostics queue capacity
 	// (0 = 256). The queue is lossy (DropOldest): diagnostics are a
-	// monitoring surface, not the science record.
+	// monitoring surface, not the science record. Drops are not silent —
+	// they surface as "gap" events on the job's stream.
 	DiagBuffer int
+	// RingSize bounds each job's diagnostics replay ring (0 = 512): how
+	// far back a disconnected SSE client can resume with Last-Event-ID
+	// before hitting an explicit gap. Terminal jobs keep only the newest
+	// ringTerminalTail events, so retained history stays cheap.
+	RingSize int
 	// History bounds how many terminal job records the server (and its
 	// stream) retain for the status endpoints (0 = sched.DefaultJobHistory).
 	// An always-on daemon accepts work indefinitely; evicting the oldest
@@ -109,28 +137,36 @@ type Config struct {
 }
 
 // jobEntry is the server-side record of one submission: the spec it came
-// from, the SSE subscribers watching it, and its terminal result. The id
-// is the external (and journal) id — stable across restarts — while sid is
-// the stream's session-local submission id.
+// from, its replayable event ring, the SSE subscribers watching it, and
+// its terminal result. The id is the external (and journal) id — stable
+// across restarts — while sid is the stream's session-local submission id.
 type jobEntry struct {
 	id        int
 	sid       int
 	spec      catalog.JobSpec
-	tenant    string // owning tenant name ("" in open mode)
+	tenant    string  // owning tenant name ("" in open mode)
+	until     float64 // resolved clock target (catalog default applied)
 	submitted time.Time
 	queuedNow bool // currently counted in the tenant queue-depth gauge
 	cancelled bool // client DELETE observed (terminal already journaled)
-	subs      map[chan sseEvent]struct{}
-	result    *sched.Result // non-nil once terminal
+	// ring retains the job's events for Last-Event-ID replay; subscribers
+	// are wake-up channels, each SSE handler reading the ring through its
+	// own cursor (a slow client falls behind on the ring, it never makes
+	// the publisher drop).
+	ring *eventRing
+	subs map[chan struct{}]struct{}
+	// eta projects the remaining wall time from observed clock progress;
+	// runStart anchors its wall axis at the first Running transition.
+	eta      *machine.ETAEstimator
+	runStart time.Time
+	result   *sched.Result // non-nil once terminal
 }
 
-// sseEvent is one message on a job's diagnostics stream.
-type sseEvent struct {
-	// Type is the SSE event name: "diag", "status" or "done".
-	Type string
-	// Data is the JSON payload.
-	Data any
-}
+// ringTerminalTail is how many ring events a terminal job keeps: enough
+// for a briefly-disconnected client to catch the ending (the last few
+// diags plus the done document), small enough that thousands of retained
+// terminal jobs stay cheap.
+const ringTerminalTail = 64
 
 // Server is the control plane. Construct with New, mount Handler, and
 // Drain (or Close) on shutdown.
@@ -138,6 +174,7 @@ type Server struct {
 	cfg    Config
 	stream *sched.Stream
 	store  *store.Store // nil without StoreDir
+	index  *store.Index // nil without StoreDir — the artifact index
 	cancel context.CancelFunc
 	start  time.Time
 
@@ -151,6 +188,15 @@ type Server struct {
 
 	// counters, guarded by mu: the /metrics surface.
 	submitted, completed, failed, cancelled, retried, recovered int64
+	// sseDropped counts diagnostics events lost before SSE delivery:
+	// observer-queue evictions plus ring evictions a connected client was
+	// told about via "gap". sseReplayed counts events re-served from rings
+	// on Last-Event-ID resumes. stepsObserved counts every diagnostics
+	// observation across all jobs; thrBase/thrStart window it into the
+	// step-throughput gauge (rate since the previous /metrics scrape).
+	sseDropped, sseReplayed, stepsObserved int64
+	thrBase                                int64
+	thrStart                               time.Time
 
 	drained   chan struct{} // closed when the stream's results are flushed
 	storeOnce sync.Once     // Close/Drain both finalise the journal
@@ -168,6 +214,9 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.DiagBuffer == 0 {
 		cfg.DiagBuffer = 256
 	}
+	if cfg.RingSize == 0 {
+		cfg.RingSize = 512
+	}
 	if cfg.History == 0 {
 		cfg.History = sched.DefaultJobHistory
 	}
@@ -181,6 +230,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		queued:   make(map[string]int),
 		drained:  make(chan struct{}),
 	}
+	s.thrStart = s.start
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir)
 		if err != nil {
@@ -188,6 +238,13 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.store = st
+		ix, err := store.OpenIndex(cfg.StoreDir)
+		if err != nil {
+			cancel()
+			st.Close()
+			return nil, err
+		}
+		s.index = ix
 	}
 	opts := []sched.Option{
 		sched.WithNotify(s.onUpdate),
@@ -237,18 +294,58 @@ func (s *Server) closeStore() {
 // newest snapshot the previous life wrote. A job whose spec no longer
 // resolves — catalog changed across the restart — is journaled failed
 // rather than wedging recovery.
+//
+// Spec resolution (unmarshal + catalog lookup, which builds the solver
+// geometry) dominates recovery time on a large journal, and each job's
+// resolution is independent — so that stage fans out across the core
+// budget. Submission stays sequential in journal order: priorities and
+// FIFO ties must replay deterministically, and SubmitID is cheap.
 func (s *Server) recoverJobs() {
-	for _, j := range s.store.Pending() {
-		var spec catalog.JobSpec
-		if err := json.Unmarshal(j.Spec, &spec); err != nil {
-			s.store.Terminal(j.ID, "failed", "journaled spec unreadable: "+err.Error())
+	pending := s.store.Pending()
+	if len(pending) == 0 {
+		return
+	}
+	type resolved struct {
+		job sched.Job
+		err error // non-nil: journal this id failed with err
+	}
+	res := make([]resolved, len(pending))
+	specs := make([]catalog.JobSpec, len(pending))
+	workers := s.cfg.Budget
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range pending {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			j := pending[i]
+			if err := json.Unmarshal(j.Spec, &specs[i]); err != nil {
+				res[i].err = fmt.Errorf("journaled spec unreadable: %w", err)
+				return
+			}
+			job, err := s.cfg.Catalog.Job(specs[i])
+			if err != nil {
+				res[i].err = fmt.Errorf("journaled spec no longer resolves: %w", err)
+				return
+			}
+			res[i].job = job
+		}(i)
+	}
+	wg.Wait()
+	for i, j := range pending {
+		if res[i].err != nil {
+			s.store.Terminal(j.ID, "failed", res[i].err.Error())
 			continue
 		}
-		job, err := s.cfg.Catalog.Job(spec)
-		if err != nil {
-			s.store.Terminal(j.ID, "failed", "journaled spec no longer resolves: "+err.Error())
-			continue
-		}
+		job := res[i].job
 		job.Tenant = j.Tenant
 		if s.cfg.Tenants != nil {
 			// Quotas are re-read from the current registry: the key file is
@@ -258,10 +355,13 @@ func (s *Server) recoverJobs() {
 			}
 		}
 		entry := &jobEntry{
-			spec:      spec,
+			spec:      specs[i],
 			tenant:    j.Tenant,
+			until:     job.Until,
 			submitted: j.Submitted,
-			subs:      make(map[chan sseEvent]struct{}),
+			ring:      newEventRing(s.cfg.RingSize),
+			subs:      make(map[chan struct{}]struct{}),
+			eta:       machine.NewETAEstimator(job.Until),
 		}
 		s.attach(&job, entry)
 		s.mu.Lock()
@@ -287,6 +387,14 @@ func (s *Server) recoverJobs() {
 func (s *Server) consumeResults() {
 	for r := range s.stream.Results() {
 		r := r
+		// Scan the job's checkpoint directory before taking the lock: the
+		// artifact listing is pure file I/O and must not serialise the
+		// notify callbacks and handlers behind it.
+		var artifacts []store.Artifact
+		if s.index != nil && s.cfg.CheckpointDir != "" && r.Name != "" {
+			artifacts, _ = collectArtifacts(sched.JobCheckpointDir(s.cfg.CheckpointDir, r.Name))
+		}
+		var ixEntry *store.IndexEntry
 		s.mu.Lock()
 		switch r.Status {
 		case sched.Done:
@@ -321,7 +429,14 @@ func (s *Server) consumeResults() {
 					s.store.Terminal(eid, "failed", msg)
 				}
 			}
-			s.publishLocked(e, sseEvent{Type: "done", Data: statusBody(e, s.snapshotFor(r.ID))})
+			s.appendEventLocked(e, "done", statusBody(e, s.snapshotFor(r.ID)))
+			// Terminal rings keep only a short tail: enough for a briefly
+			// disconnected watcher to catch the ending, cheap enough that
+			// thousands of retained terminal jobs don't dominate memory.
+			e.ring.trimTo(ringTerminalTail)
+			if s.index != nil {
+				ixEntry = indexEntryLocked(e, &r, artifacts)
+			}
 			// Mirror the stream's history bound: evict the oldest terminal
 			// entries so an always-on daemon's memory stays bounded.
 			// Evicted entries disappear from the map only — attached SSE
@@ -333,8 +448,43 @@ func (s *Server) consumeResults() {
 			}
 		}
 		s.mu.Unlock()
+		if ixEntry != nil {
+			// The index append (and its fsync) happens off s.mu; the index
+			// has its own lock.
+			s.index.Put(*ixEntry)
+		}
 	}
 	close(s.drained)
+}
+
+// indexEntryLocked flattens one terminal job into its durable artifact-index
+// record. Callers hold s.mu.
+func indexEntryLocked(e *jobEntry, r *sched.Result, artifacts []store.Artifact) *store.IndexEntry {
+	ie := &store.IndexEntry{
+		ID:                e.id,
+		Tenant:            e.tenant,
+		Name:              r.Name,
+		Scenario:          e.spec.Scenario,
+		Status:            r.Status.String(),
+		SubmittedUnixNano: e.submitted.UnixNano(),
+		FinishedUnixNano:  time.Now().UnixNano(),
+		Artifacts:         artifacts,
+	}
+	if r.Err != nil {
+		ie.Error = r.Err.Error()
+	}
+	if rep := r.Report; rep != nil {
+		ie.Report = &store.ReportSummary{
+			Steps:           rep.Steps,
+			Clock:           rep.Clock,
+			WallSeconds:     rep.Wall.Seconds(),
+			Reason:          rep.Reason.String(),
+			Checkpoints:     len(rep.Checkpoints),
+			CheckpointBytes: rep.CheckpointBytes,
+			DroppedObs:      rep.DroppedObservations,
+		}
+	}
+	return ie
 }
 
 // snapshotFor reads the scheduler's view of one submission by stream id
@@ -368,8 +518,16 @@ func (s *Server) onUpdate(u sched.Update) {
 		e.queuedNow = false
 		s.queued[e.tenant]--
 	}
-	if u.Status == sched.Running && s.store != nil {
-		s.store.Started(eid, u.Attempt)
+	if u.Status == sched.Running {
+		// Anchor the ETA estimator's wall axis at the first dispatch; a
+		// retry keeps the original anchor so already-burnt wall time stays
+		// in the projection.
+		if e.runStart.IsZero() {
+			e.runStart = time.Now()
+		}
+		if s.store != nil {
+			s.store.Started(eid, u.Attempt)
+		}
 	}
 	body := map[string]any{
 		"id":      eid,
@@ -380,22 +538,33 @@ func (s *Server) onUpdate(u sched.Update) {
 	if u.Err != nil {
 		body["error"] = u.Err.Error()
 	}
-	s.publishLocked(e, sseEvent{Type: "status", Data: body})
+	s.appendEventLocked(e, "status", body)
 }
 
 // attach wires the per-submission runner options onto a job: the lossy
-// diagnostics pipe every submission gets, and — when the server is durable
-// — the checkpoint notification that journals each snapshot's clock, which
-// is what a restart consults to promise "resumes from the newest
-// checkpoint".
+// diagnostics pipe every submission gets (with its eviction notifier, so
+// back-pressure drops surface as "gap" events instead of vanishing), and —
+// when the server is durable — the checkpoint notification that journals
+// each snapshot's clock, which is what a restart consults to promise
+// "resumes from the newest checkpoint".
 func (s *Server) attach(job *sched.Job, entry *jobEntry) {
 	job.Opts = append(job.Opts, runner.WithAsyncObserver(
 		func(step int, d runner.Diagnostics) error {
-			s.publishDiag(entry, step, d)
+			s.observe(entry, step, d)
 			return nil
 		},
 		runner.WithAsyncBuffer(s.cfg.DiagBuffer),
 		runner.WithBackpressure(runner.DropOldest),
+		runner.WithDropNotify(func(dropped int64) {
+			// Runs on the observer pipeline goroutine, never the step loop.
+			s.mu.Lock()
+			s.sseDropped += dropped
+			s.appendEventLocked(entry, "gap", map[string]any{
+				"missed": dropped,
+				"source": "observer",
+			})
+			s.mu.Unlock()
+		}),
 	))
 	if s.store != nil {
 		job.Opts = append(job.Opts, runner.WithCheckpointNotify(
@@ -411,26 +580,29 @@ func (s *Server) attach(job *sched.Job, entry *jobEntry) {
 	}
 }
 
-// publishLocked sends an event to every subscriber of a job without
-// blocking: a slow SSE client loses events, never stalls the scheduler.
-// Callers hold s.mu.
-func (s *Server) publishLocked(e *jobEntry, ev sseEvent) {
+// appendEventLocked marshals one event into the job's ring — assigning its
+// sequence number — and wakes every subscriber. The wake is a non-blocking
+// send on a capacity-1 channel: a token already pending means the handler
+// will drain the ring anyway, so nothing is lost and nothing blocks. A slow
+// SSE client falls behind on the ring (and, at worst, sees an explicit gap
+// after eviction); it never makes the publisher drop. Callers hold s.mu.
+func (s *Server) appendEventLocked(e *jobEntry, typ string, body any) {
+	t, data := marshalEvent(typ, body)
+	e.ring.append(t, data)
 	for ch := range e.subs {
 		select {
-		case ch <- ev:
+		case ch <- struct{}{}:
 		default:
 		}
 	}
 }
 
-// publishDiag delivers one diagnostics snapshot to a job's subscribers; it
-// runs on the job's async observer goroutine, off the step loop.
-func (s *Server) publishDiag(e *jobEntry, step int, d runner.Diagnostics) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(e.subs) == 0 {
-		return
-	}
+// observe ingests one diagnostics snapshot: counts it for the throughput
+// gauge, feeds the ETA estimator, and appends the "diag" event to the
+// job's ring. It runs on the job's async observer goroutine, off the step
+// loop. Unlike the old push surface this always appends — the ring is the
+// replay buffer a later Last-Event-ID resume reads, subscribers or not.
+func (s *Server) observe(e *jobEntry, step int, d runner.Diagnostics) {
 	body := map[string]any{
 		"step":  step,
 		"clock": safeNum(d.Clock),
@@ -440,7 +612,13 @@ func (s *Server) publishDiag(e *jobEntry, step int, d runner.Diagnostics) {
 	for k, v := range d.Extra {
 		body[k] = safeNum(v)
 	}
-	s.publishLocked(e, sseEvent{Type: "diag", Data: body})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stepsObserved++
+	if e.eta != nil && !e.runStart.IsZero() {
+		e.eta.Observe(time.Since(e.runStart).Seconds(), d.Clock)
+	}
+	s.appendEventLocked(e, "diag", body)
 }
 
 // safeNum makes a float JSON-encodable: encoding/json rejects NaN and ±Inf,
@@ -603,7 +781,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	entry := &jobEntry{spec: spec, submitted: time.Now(), subs: make(map[chan sseEvent]struct{})}
+	entry := &jobEntry{
+		spec:      spec,
+		until:     job.Until,
+		submitted: time.Now(),
+		ring:      newEventRing(s.cfg.RingSize),
+		subs:      make(map[chan struct{}]struct{}),
+		eta:       machine.NewETAEstimator(job.Until),
+	}
 	if tn != nil {
 		entry.tenant = tn.Name
 		// The tenant tag and core quota ride into the scheduler's two-level
@@ -682,6 +867,7 @@ func (s *Server) allocIDLocked() int {
 // result is authoritative over the scheduler snapshot: the stream's
 // bounded history may already have evicted the record (js then reads as a
 // zero value), but the result the server holds is the job's true outcome.
+// Callers hold s.mu (the ETA estimator is mutated under it).
 func statusBody(e *jobEntry, js sched.JobSnapshot) map[string]any {
 	name, status, attempt := js.Name, js.Status.String(), js.Attempt
 	errMsg := ""
@@ -703,11 +889,23 @@ func statusBody(e *jobEntry, js sched.JobSnapshot) map[string]any {
 		"priority":  e.spec.Priority,
 		"submitted": e.submitted.UTC().Format(time.RFC3339Nano),
 	}
+	if e.until > 0 {
+		body["until"] = e.until
+	}
 	if e.tenant != "" {
 		body["tenant"] = e.tenant
 	}
 	if errMsg != "" {
 		body["error"] = errMsg
+	}
+	// A live run with an established clock-advance rate carries its wall
+	// ETA — the online face of the machine model's time-to-solution. A
+	// queued or just-started job has no defensible estimate and omits the
+	// field rather than inventing one.
+	if e.result == nil && e.eta != nil {
+		if eta, ok := e.eta.ETASeconds(); ok {
+			body["eta_seconds"] = eta
+		}
 	}
 	if e.result != nil && e.result.Report != nil {
 		rep := e.result.Report
@@ -724,29 +922,77 @@ func statusBody(e *jobEntry, js sched.JobSnapshot) map[string]any {
 	return body
 }
 
-// lookup resolves the {id} path value to the entry and scheduler snapshot,
-// enforcing tenant scoping: another tenant's job is 403, not invisible —
-// ids are dense integers, so a 404 would leak nothing an enumeration does
-// not already reveal, and the explicit status is the more debuggable
-// contract.
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*jobEntry, sched.JobSnapshot, bool) {
+// lookup resolves the {id} path value to the live entry and scheduler
+// snapshot — or, when the bounded history has already evicted the job, to
+// its record in the durable artifact index (ie non-nil, entry nil). Tenant
+// scoping is enforced on both paths: another tenant's job is 403, not
+// invisible — ids are dense integers, so a 404 would leak nothing an
+// enumeration does not already reveal, and the explicit status is the more
+// debuggable contract.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*jobEntry, sched.JobSnapshot, *store.IndexEntry, bool) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: bad job id %q", r.PathValue("id")))
-		return nil, sched.JobSnapshot{}, false
+		return nil, sched.JobSnapshot{}, nil, false
 	}
 	s.mu.Lock()
 	e, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
+		if s.index != nil {
+			if ie, found := s.index.Get(id); found {
+				if tn, authed := tenant.FromContext(r.Context()); authed && ie.Tenant != tn.Name {
+					writeErr(w, http.StatusForbidden, fmt.Errorf("serve: job %d belongs to another tenant", id))
+					return nil, sched.JobSnapshot{}, nil, false
+				}
+				return nil, sched.JobSnapshot{}, &ie, true
+			}
+		}
 		writeErr(w, http.StatusNotFound, fmt.Errorf("serve: no job %d", id))
-		return nil, sched.JobSnapshot{}, false
+		return nil, sched.JobSnapshot{}, nil, false
 	}
 	if tn, authed := tenant.FromContext(r.Context()); authed && e.tenant != tn.Name {
 		writeErr(w, http.StatusForbidden, fmt.Errorf("serve: job %d belongs to another tenant", id))
-		return nil, sched.JobSnapshot{}, false
+		return nil, sched.JobSnapshot{}, nil, false
 	}
-	return e, s.snapshotFor(e.sid), true
+	return e, s.snapshotFor(e.sid), nil, true
+}
+
+// statusBodyIndex renders an evicted job's status document from its
+// artifact-index record. "archived": true tells clients they are reading
+// the durable record, not live scheduler state.
+func statusBodyIndex(ie *store.IndexEntry) map[string]any {
+	body := map[string]any{
+		"id":        ie.ID,
+		"name":      ie.Name,
+		"status":    ie.Status,
+		"submitted": ie.SubmittedAt().UTC().Format(time.RFC3339Nano),
+		"archived":  true,
+	}
+	if ie.Scenario != "" {
+		body["scenario"] = ie.Scenario
+	}
+	if ie.Tenant != "" {
+		body["tenant"] = ie.Tenant
+	}
+	if ie.Error != "" {
+		body["error"] = ie.Error
+	}
+	if ie.FinishedUnixNano != 0 {
+		body["finished"] = ie.FinishedAt().UTC().Format(time.RFC3339Nano)
+	}
+	if rep := ie.Report; rep != nil {
+		body["report"] = map[string]any{
+			"steps":            rep.Steps,
+			"clock":            safeNum(rep.Clock),
+			"wall_seconds":     rep.WallSeconds,
+			"reason":           rep.Reason,
+			"checkpoints":      rep.Checkpoints,
+			"checkpoint_bytes": rep.CheckpointBytes,
+			"dropped_obs":      rep.DroppedObs,
+		}
+	}
+	return body
 }
 
 // handleList reports every retained submission, newest last, scoped to the
@@ -781,10 +1027,15 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out, "queued": depth})
 }
 
-// handleGet reports one submission.
+// handleGet reports one submission — from live state, or from the artifact
+// index once the bounded history has evicted it.
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	e, js, ok := s.lookup(w, r)
+	e, js, ie, ok := s.lookup(w, r)
 	if !ok {
+		return
+	}
+	if ie != nil {
+		writeJSON(w, http.StatusOK, statusBodyIndex(ie))
 		return
 	}
 	s.mu.Lock()
@@ -798,8 +1049,13 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 // time: the user's decision must survive a crash, not be undone by a
 // recovery replay.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	e, js, ok := s.lookup(w, r)
+	e, js, ie, ok := s.lookup(w, r)
 	if !ok {
+		return
+	}
+	if ie != nil {
+		writeErr(w, http.StatusConflict,
+			fmt.Errorf("serve: job %d already %s", ie.ID, ie.Status))
 		return
 	}
 	if !s.stream.Cancel(e.sid) {
@@ -835,15 +1091,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format (v0.0.4): backslash, double quote, and newline — and nothing
+// else. fmt's %q is NOT this escaping: it emits \uXXXX for non-ASCII, and
+// a tenant named "団体" would produce a label value no Prometheus parser
+// accepts. ASCII-only values pass through byte-identical, so existing
+// scrapes and greps keep matching.
+var escapeLabel = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace
+
 // handleMetrics serves the Prometheus text exposition format (v0.0.4):
 // # HELP/# TYPE annotations per family, counters and gauges, and
 // per-tenant labelled gauges for core usage and queue depth. The sample
 // lines keep the exact names and shapes of the pre-tenancy plain-text
 // endpoint, so existing scrapes and greps continue to match.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
 	s.mu.Lock()
 	submitted, completed, failed, cancelled, retried, recovered :=
 		s.submitted, s.completed, s.failed, s.cancelled, s.retried, s.recovered
+	sseDropped, sseReplayed, stepsObserved := s.sseDropped, s.sseReplayed, s.stepsObserved
+	// Step throughput is windowed scrape-to-scrape: the rate since the
+	// previous /metrics read, which is what a dashboard actually plots.
+	throughput := 0.0
+	if window := now.Sub(s.thrStart).Seconds(); window > 0 {
+		throughput = float64(stepsObserved-s.thrBase) / window
+	}
+	s.thrBase = stepsObserved
+	s.thrStart = now
 	queued := make(map[string]int, len(s.queued))
 	for name, n := range s.queued {
 		queued[name] = n
@@ -862,6 +1136,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("vlasovd_jobs_cancelled_total", "Jobs that reached Cancelled.", cancelled)
 	counter("vlasovd_jobs_retried_total", "Retry attempts across all jobs.", retried)
 	counter("vlasovd_jobs_recovered_total", "Journaled jobs re-queued at startup.", recovered)
+	counter("vlasovd_sse_dropped_total", "Diagnostics events lost before SSE delivery (observer back-pressure plus ring evictions seen by connected clients).", sseDropped)
+	counter("vlasovd_sse_replayed_total", "Events re-served from per-job rings on Last-Event-ID resumes.", sseReplayed)
+	counter("vlasovd_steps_observed_total", "Solver steps observed through the diagnostics pipeline across all jobs.", stepsObserved)
+	fmt.Fprintf(w, "# HELP vlasovd_step_throughput Observed solver steps per second since the previous scrape.\n# TYPE vlasovd_step_throughput gauge\nvlasovd_step_throughput %g\n", throughput)
 	gauge("vlasovd_queue_depth", "Jobs queued, not yet dispatched.", s.stream.Pending())
 	if b := s.stream.Budget(); b != nil {
 		gauge("vlasovd_budget_cores_total", "Cores the budget divides.", b.Total())
@@ -900,23 +1178,54 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP vlasovd_tenant_cores_in_use Cores currently claimed by the tenant's jobs.\n")
 		fmt.Fprintf(w, "# TYPE vlasovd_tenant_cores_in_use gauge\n")
 		for _, name := range ordered {
-			fmt.Fprintf(w, "vlasovd_tenant_cores_in_use{tenant=%q} %d\n", name, held[name])
+			fmt.Fprintf(w, "vlasovd_tenant_cores_in_use{tenant=\"%s\"} %d\n", escapeLabel(name), held[name])
 		}
 		fmt.Fprintf(w, "# HELP vlasovd_tenant_queue_depth The tenant's jobs queued, not yet dispatched.\n")
 		fmt.Fprintf(w, "# TYPE vlasovd_tenant_queue_depth gauge\n")
 		for _, name := range ordered {
-			fmt.Fprintf(w, "vlasovd_tenant_queue_depth{tenant=%q} %d\n", name, queued[name])
+			fmt.Fprintf(w, "vlasovd_tenant_queue_depth{tenant=\"%s\"} %d\n", escapeLabel(name), queued[name])
 		}
 	}
 }
 
-// handleDiagnostics streams a job's per-step diagnostics as server-sent
-// events: "status" on every scheduler transition, "diag" per observed step,
-// and a final "done" carrying the terminal status document. A job already
-// terminal yields just the "done" event.
+// resumeCursor extracts the client's replay position: the standard
+// Last-Event-ID header EventSource sends on reconnect, or the
+// ?last_event_id= query parameter for clients (curl) that cannot set
+// headers. Zero means "from the beginning of the retained window".
+func resumeCursor(r *http.Request) (int64, bool) {
+	v := r.Header.Get("Last-Event-ID")
+	if v == "" {
+		v = r.URL.Query().Get("last_event_id")
+	}
+	if v == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// handleDiagnostics streams a job's events as server-sent events: "status"
+// on every scheduler transition, "diag" per observed step, "gap" when
+// events were lost (observer back-pressure, ring eviction, or an
+// unresolvable resume id), and a final "done" carrying the terminal status
+// document. Every ring event carries its sequence number as the SSE id:
+// a client that reconnects with Last-Event-ID (or ?last_event_id=) resumes
+// exactly after the last event it saw — the handler replays the missed
+// window from the job's ring, then goes live. Replay is exactly-once over
+// the retained window; a window that has been evicted is reported as an
+// explicit "gap" with the missed count, never silently skipped. A job
+// already terminal replays its retained tail and closes after "done".
 func (s *Server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
-	e, _, ok := s.lookup(w, r)
+	e, _, ie, ok := s.lookup(w, r)
 	if !ok {
+		return
+	}
+	if ie != nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf(
+			"serve: job %d has been evicted from live history and its diagnostics ring is gone; status and checkpoints remain at /v1/jobs/%d", ie.ID, ie.ID))
 		return
 	}
 	fl, canFlush := w.(http.Flusher)
@@ -924,6 +1233,8 @@ func (s *Server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotImplemented, fmt.Errorf("serve: response writer cannot stream"))
 		return
 	}
+	cursor, resuming := resumeCursor(r)
+
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -932,14 +1243,23 @@ func (s *Server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
 	// event fires.
 	fl.Flush()
 
-	sub := make(chan sseEvent, s.cfg.DiagBuffer)
+	// Register the wake-up channel before the first flush: an event landing
+	// between flush and registration would otherwise be announced to
+	// nobody. Capacity 1 — a pending token already means "ring has news".
+	sub := make(chan struct{}, 1)
 	s.mu.Lock()
-	if e.result != nil {
-		body := statusBody(e, s.snapshotFor(e.sid))
+	if head := e.ring.head(); cursor > head {
+		// The id cannot have come from this ring (a restarted daemon's
+		// rings restart at 1, or the client is guessing). Clamping it
+		// silently would be indistinguishable from a clean resume, so tell
+		// the client its position did not resolve before going live.
+		cursor = head
+		t, data := marshalEvent("gap", map[string]any{"source": "reset"})
 		s.mu.Unlock()
-		writeSSE(w, sseEvent{Type: "done", Data: body})
-		fl.Flush()
-		return
+		if writeSSE(w, 0, t, data) != nil {
+			return
+		}
+		s.mu.Lock()
 	}
 	e.subs[sub] = struct{}{}
 	s.mu.Unlock()
@@ -949,58 +1269,124 @@ func (s *Server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}()
 
-	// The ticker backstops lossy delivery: if the terminal "done" event
-	// was dropped (full subscriber queue), the poll notices the recorded
-	// result and closes the stream anyway.
+	firstFlush := true
+	// flush drains the ring from the cursor: a gap notice if part of the
+	// window was evicted, then every retained event past the cursor. It
+	// reports done=true when the terminal event went out.
+	flush := func() (done bool, err error) {
+		s.mu.Lock()
+		evs, missed := e.ring.since(cursor)
+		if len(evs) > 0 {
+			cursor = evs[len(evs)-1].seq
+		}
+		if missed > 0 {
+			// Ring eviction observed by a connected client is a real loss.
+			s.sseDropped += missed
+		}
+		if resuming && firstFlush {
+			s.sseReplayed += int64(len(evs))
+		}
+		var synth map[string]any
+		if len(evs) == 0 && e.result != nil {
+			// Terminal with nothing left to replay: the client already saw
+			// (at least) the done event — re-send it so the stream still
+			// closes with the terminal document.
+			synth = statusBody(e, s.snapshotFor(e.sid))
+		}
+		s.mu.Unlock()
+		firstFlush = false
+		wrote := false
+		defer func() {
+			if wrote {
+				fl.Flush()
+			}
+		}()
+		if missed > 0 {
+			t, data := marshalEvent("gap", map[string]any{"missed": missed, "source": "ring"})
+			if err := writeSSE(w, 0, t, data); err != nil {
+				return false, err
+			}
+			wrote = true
+		}
+		for _, ev := range evs {
+			if err := writeSSE(w, ev.seq, ev.typ, ev.data); err != nil {
+				return false, err
+			}
+			wrote = true
+			if ev.typ == "done" {
+				return true, nil
+			}
+		}
+		if synth != nil {
+			t, data := marshalEvent("done", synth)
+			if err := writeSSE(w, 0, t, data); err != nil {
+				return false, err
+			}
+			wrote = true
+			return true, nil
+		}
+		return false, nil
+	}
+
+	// The ticker backstops the wake-up channel: delivery correctness lives
+	// in the ring, so a missed wake costs latency, never an event.
 	tick := time.NewTicker(500 * time.Millisecond)
 	defer tick.Stop()
 	for {
+		if done, err := flush(); done || err != nil {
+			return
+		}
 		select {
 		case <-r.Context().Done():
 			return
-		case ev := <-sub:
-			if err := writeSSE(w, ev); err != nil {
-				return
-			}
-			fl.Flush()
-			if ev.Type == "done" {
-				return
-			}
+		case <-sub:
 		case <-tick.C:
-			s.mu.Lock()
-			terminal := e.result != nil
-			var body map[string]any
-			if terminal {
-				body = statusBody(e, s.snapshotFor(e.sid))
-			}
-			s.mu.Unlock()
-			if terminal {
-				writeSSE(w, sseEvent{Type: "done", Data: body})
-				fl.Flush()
-				return
-			}
 		}
 	}
 }
 
-// writeSSE writes one event in text/event-stream framing.
-func writeSSE(w http.ResponseWriter, ev sseEvent) error {
-	data, err := json.Marshal(ev.Data)
-	if err != nil {
-		return err
+// writeSSE writes one event in text/event-stream framing. A positive id
+// becomes the event's `id:` line — the resume cursor the client hands back
+// as Last-Event-ID; synthetic per-connection events (gap, re-sent done)
+// carry no id so they never displace the client's real position.
+func writeSSE(w io.Writer, id int64, typ string, data []byte) error {
+	var err error
+	if id > 0 {
+		_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, typ, data)
+	} else {
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", typ, data)
 	}
-	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
 	return err
 }
 
-// checkpointInfo is one artifact in a listing.
-type checkpointInfo struct {
-	Name  string  `json:"name"`
-	Bytes int64   `json:"bytes"`
-	Clock float64 `json:"clock"`
-	// Format tags what can open the file: "snapio-v1"/"snapio-v2" for the
-	// cosmological snapshots, "solver" for solver-private formats.
-	Format string `json:"format"`
+// collectArtifacts scans one job's checkpoint directory into artifact
+// records, oldest first: file name, size, the clock embedded in the
+// fixed-width name, and a format probe ("snapio-v1"/"snapio-v2" for the
+// cosmological snapshots, "solver" for solver-private formats). The same
+// records serve the live checkpoint listing and the terminal write into
+// the artifact index.
+func collectArtifacts(dir string) ([]store.Artifact, error) {
+	paths, err := runner.ListCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]store.Artifact, 0, len(paths))
+	for _, p := range paths {
+		a := store.Artifact{Name: filepath.Base(p), Format: "solver"}
+		if st, err := os.Stat(p); err == nil {
+			a.Bytes = st.Size()
+		}
+		fmt.Sscanf(a.Name, "ckpt_%f.v6d", &a.Clock)
+		if f, err := os.Open(p); err == nil {
+			if v, _, ok := snapio.Probe(f); ok {
+				a.Format = fmt.Sprintf("snapio-v%d", v)
+			}
+			f.Close()
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
 }
 
 // jobCheckpointDir resolves a job's checkpoint directory, or "" when the
@@ -1024,10 +1410,23 @@ func (s *Server) jobCheckpointDir(e *jobEntry, js sched.JobSnapshot) string {
 	return sched.JobCheckpointDir(s.cfg.CheckpointDir, name)
 }
 
-// handleCheckpoints lists a job's snapshot artifacts, oldest first.
+// handleCheckpoints lists a job's snapshot artifacts, oldest first. For an
+// evicted job the listing answers from the artifact index — the record of
+// what the run left behind at terminal time — without touching the
+// filesystem.
 func (s *Server) handleCheckpoints(w http.ResponseWriter, r *http.Request) {
-	e, js, ok := s.lookup(w, r)
+	e, js, ie, ok := s.lookup(w, r)
 	if !ok {
+		return
+	}
+	if ie != nil {
+		arts := ie.Artifacts
+		if arts == nil {
+			arts = []store.Artifact{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"job": ie.Name, "archived": true, "checkpoints": arts,
+		})
 		return
 	}
 	dir := s.jobCheckpointDir(e, js)
@@ -1035,40 +1434,38 @@ func (s *Server) handleCheckpoints(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("serve: checkpointing disabled"))
 		return
 	}
-	paths, err := runner.ListCheckpoints(dir)
+	infos, err := collectArtifacts(dir)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	infos := make([]checkpointInfo, 0, len(paths))
-	for _, p := range paths {
-		info := checkpointInfo{Name: filepath.Base(p), Format: "solver"}
-		if st, err := os.Stat(p); err == nil {
-			info.Bytes = st.Size()
-		}
-		// The clock is embedded in the fixed-width file name.
-		fmt.Sscanf(info.Name, "ckpt_%f.v6d", &info.Clock)
-		if f, err := os.Open(p); err == nil {
-			if v, _, ok := snapio.Probe(f); ok {
-				info.Format = fmt.Sprintf("snapio-v%d", v)
-			}
-			f.Close()
-		}
-		infos = append(infos, info)
+	name := js.Name
+	s.mu.Lock()
+	if e.result != nil {
+		name = e.result.Name
 	}
-	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
-	writeJSON(w, http.StatusOK, map[string]any{"job": js.Name, "checkpoints": infos})
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"job": name, "checkpoints": infos})
 }
 
 // handleCheckpointFile downloads one artifact. The file name is validated
 // against the checkpoint naming scheme — this endpoint serves snapshots,
 // not the filesystem.
 func (s *Server) handleCheckpointFile(w http.ResponseWriter, r *http.Request) {
-	e, js, ok := s.lookup(w, r)
+	e, js, ie, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
-	dir := s.jobCheckpointDir(e, js)
+	var dir string
+	if ie != nil {
+		// Evicted job: the index remembers the name that keys the
+		// checkpoint directory, and the files themselves outlive eviction.
+		if s.cfg.CheckpointDir != "" && ie.Name != "" {
+			dir = sched.JobCheckpointDir(s.cfg.CheckpointDir, ie.Name)
+		}
+	} else {
+		dir = s.jobCheckpointDir(e, js)
+	}
 	if dir == "" {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("serve: checkpointing disabled"))
 		return

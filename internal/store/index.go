@@ -1,0 +1,269 @@
+// The artifact index: the durable memory of *finished* work. The journal
+// (store.go) deliberately forgets terminal jobs — boot compaction drops
+// them so the file stays proportional to the unfinished set — and the
+// control plane's in-memory history is bounded (sched.WithJobHistory), so
+// without this file a job that finished an hour ago on a busy daemon is
+// unreachable: its status 404s and its checkpoints, still sitting on disk,
+// are unlisted. Long-running physics monitors keep exactly this record —
+// the T2K detector-ageing analysis spans a decade of runs precisely
+// because every run's summary and artifacts stay queryable long after the
+// acquisition process that produced them is gone.
+//
+// One IndexEntry per terminal job: the outcome, the final report summary,
+// and the checkpoint artifacts the run left (name, size, clock, format —
+// enough to serve a listing without touching the filesystem). Entries are
+// CRC-framed JSON in index.v6di, appended at terminal time and fsynced;
+// OpenIndex replays the file (truncating a torn tail like the journal)
+// and compacts duplicates, keeping the newest entry per id.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// indexName is the artifact index file inside the store directory.
+const indexName = "index.v6di"
+
+// Artifact describes one checkpoint file a finished job left behind.
+type Artifact struct {
+	// Name is the file name inside the job's checkpoint directory.
+	Name string `json:"name"`
+	// Bytes is the file size at terminal time.
+	Bytes int64 `json:"bytes"`
+	// Clock is the solver clock embedded in the file name.
+	Clock float64 `json:"clock"`
+	// Format tags what can open the file ("snapio-v1", "snapio-v2",
+	// "solver").
+	Format string `json:"format"`
+}
+
+// ReportSummary is the terminal runner report, flattened to the fields the
+// status document serves.
+type ReportSummary struct {
+	Steps           int     `json:"steps"`
+	Clock           float64 `json:"clock"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	Reason          string  `json:"reason"`
+	Checkpoints     int     `json:"checkpoints"`
+	CheckpointBytes int64   `json:"checkpoint_bytes"`
+	DroppedObs      int64   `json:"dropped_obs"`
+}
+
+// IndexEntry is one finished job's durable record.
+type IndexEntry struct {
+	// ID is the persistent external job id (the same id space as the
+	// journal's).
+	ID int `json:"id"`
+	// Tenant names the owning tenant ("" when the daemon ran open) —
+	// post-eviction queries stay tenant-scoped.
+	Tenant string `json:"tenant,omitempty"`
+	// Name is the job name, which keys the checkpoint directory.
+	Name string `json:"name"`
+	// Scenario echoes the spec's scenario.
+	Scenario string `json:"scenario,omitempty"`
+	// Status is the terminal outcome ("done", "failed", "cancelled");
+	// Error describes a failure.
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// SubmittedUnixNano / FinishedUnixNano bracket the job's lifetime.
+	SubmittedUnixNano int64 `json:"submitted_unix_nano,omitempty"`
+	FinishedUnixNano  int64 `json:"finished_unix_nano,omitempty"`
+	// Report summarises the terminal runner report (nil when the job never
+	// ran — a queued cancellation).
+	Report *ReportSummary `json:"report,omitempty"`
+	// Artifacts lists the checkpoint files at terminal time, oldest first.
+	Artifacts []Artifact `json:"artifacts,omitempty"`
+}
+
+// Submitted / Finished convert the wire timestamps.
+func (e IndexEntry) SubmittedAt() time.Time { return time.Unix(0, e.SubmittedUnixNano) }
+func (e IndexEntry) FinishedAt() time.Time  { return time.Unix(0, e.FinishedUnixNano) }
+
+// Index is an open artifact index. All methods are safe for concurrent
+// use.
+type Index struct {
+	dir string
+
+	mu   sync.Mutex
+	f    *os.File
+	byID map[int]*IndexEntry
+}
+
+// OpenIndex replays (and compacts) the artifact index under dir, creating
+// the directory and an empty index when none exists. A torn tail is
+// truncated at the last whole entry; duplicate ids keep the newest entry.
+func OpenIndex(dir string) (*Index, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	ix := &Index{dir: dir, byID: make(map[int]*IndexEntry)}
+	if err := ix.replay(); err != nil {
+		return nil, err
+	}
+	if err := ix.compact(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// path is the index file path.
+func (ix *Index) path() string { return filepath.Join(ix.dir, indexName) }
+
+// replay reads every whole entry, truncating a torn or corrupt tail.
+func (ix *Index) replay() error {
+	f, err := os.OpenFile(ix.path(), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	good := int64(0)
+	r := &countingReader{r: f}
+	for {
+		payload, err := readFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			break // torn tail: keep everything up to the last whole entry
+		}
+		good = r.n
+		var e IndexEntry
+		if json.Unmarshal(payload, &e) != nil {
+			continue // unknown shape from a newer daemon: skip, keep reading
+		}
+		ix.byID[e.ID] = &e
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return fmt.Errorf("store: truncate torn index tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	ix.f = f
+	return nil
+}
+
+// compact rewrites the index to one entry per id (the newest), atomically.
+// A daemon that re-runs a recovered job terminal-journals it twice across
+// lives; compaction keeps the file proportional to the distinct finished
+// set.
+func (ix *Index) compact() error {
+	tmp := ix.path() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: index compact: %w", err)
+	}
+	for _, e := range ix.entriesLocked() {
+		payload, merr := json.Marshal(e)
+		if merr != nil {
+			err = merr
+			break
+		}
+		if _, werr := writeFrame(f, payload); werr != nil {
+			err = werr
+			break
+		}
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: index compact: %w", err)
+	}
+	if err := os.Rename(tmp, ix.path()); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: index compact: %w", err)
+	}
+	ix.f.Close()
+	f, err = os.OpenFile(ix.path(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen index after compact: %w", err)
+	}
+	ix.f = f
+	return nil
+}
+
+// entriesLocked returns the entries in id order. Callers hold ix.mu (or,
+// during OpenIndex, exclusive access).
+func (ix *Index) entriesLocked() []*IndexEntry {
+	out := make([]*IndexEntry, 0, len(ix.byID))
+	for _, e := range ix.byID {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Put appends one terminal job's record and fsyncs it. A repeated id
+// overwrites the in-memory entry; the duplicate frame is dropped at the
+// next OpenIndex compaction.
+func (ix *Index) Put(e IndexEntry) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: index entry: %w", err)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.f == nil {
+		return fmt.Errorf("store: index closed")
+	}
+	if _, err := writeFrame(ix.f, payload); err != nil {
+		return fmt.Errorf("store: index append: %w", err)
+	}
+	if err := ix.f.Sync(); err != nil {
+		return fmt.Errorf("store: index sync: %w", err)
+	}
+	ix.byID[e.ID] = &e
+	return nil
+}
+
+// Get returns one finished job's record by id.
+func (ix *Index) Get(id int) (IndexEntry, bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	e, ok := ix.byID[id]
+	if !ok {
+		return IndexEntry{}, false
+	}
+	out := *e
+	out.Artifacts = append([]Artifact(nil), e.Artifacts...)
+	if e.Report != nil {
+		rep := *e.Report
+		out.Report = &rep
+	}
+	return out, true
+}
+
+// Len returns the number of indexed jobs.
+func (ix *Index) Len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.byID)
+}
+
+// Close closes the index file. Puts after Close fail.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.f == nil {
+		return nil
+	}
+	err := ix.f.Close()
+	ix.f = nil
+	return err
+}

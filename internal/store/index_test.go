@@ -1,0 +1,128 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testEntry(id int) IndexEntry {
+	return IndexEntry{
+		ID:                id,
+		Tenant:            "alice",
+		Name:              "landau-x",
+		Scenario:          "landau",
+		Status:            "done",
+		SubmittedUnixNano: 1000,
+		FinishedUnixNano:  2000,
+		Report: &ReportSummary{
+			Steps: 40, Clock: 0.4, WallSeconds: 1.5, Reason: "until",
+			Checkpoints: 2, CheckpointBytes: 4096,
+		},
+		Artifacts: []Artifact{
+			{Name: "ckpt_000000.100000.v6d", Bytes: 2048, Clock: 0.1, Format: "solver"},
+			{Name: "ckpt_000000.200000.v6d", Bytes: 2048, Clock: 0.2, Format: "solver"},
+		},
+	}
+}
+
+// TestIndexRoundTrip: entries survive Put → Close → OpenIndex, and a
+// repeated id keeps the newest record after compaction.
+func TestIndexRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Put(testEntry(1)); err != nil {
+		t.Fatal(err)
+	}
+	stale := testEntry(2)
+	stale.Status = "failed"
+	if err := ix.Put(stale); err != nil {
+		t.Fatal(err)
+	}
+	fresh := testEntry(2) // re-run across lives: same id, newer outcome
+	if err := ix.Put(fresh); err != nil {
+		t.Fatal(err)
+	}
+	ix.Close()
+
+	ix, err = OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.Len() != 2 {
+		t.Fatalf("reopened index holds %d entries, want 2", ix.Len())
+	}
+	e, ok := ix.Get(2)
+	if !ok || e.Status != "done" {
+		t.Fatalf("duplicate id resolved to %+v (ok=%v), want the newest", e, ok)
+	}
+	if len(e.Artifacts) != 2 || e.Artifacts[1].Clock != 0.2 {
+		t.Fatalf("artifacts did not round-trip: %+v", e.Artifacts)
+	}
+	if e.Report == nil || e.Report.Steps != 40 {
+		t.Fatalf("report did not round-trip: %+v", e.Report)
+	}
+	if _, ok := ix.Get(99); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+// TestIndexTornTail: a partially written final frame (the crash case) is
+// truncated on reopen; whole entries before it survive.
+func TestIndexTornTail(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Put(testEntry(1)); err != nil {
+		t.Fatal(err)
+	}
+	ix.Close()
+
+	path := filepath.Join(dir, indexName)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(blob, blob[:len(blob)/3]...) // half-written next frame
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err = OpenIndex(dir)
+	if err != nil {
+		t.Fatalf("torn tail wedged reopen: %v", err)
+	}
+	defer ix.Close()
+	if ix.Len() != 1 {
+		t.Fatalf("after torn tail: %d entries, want 1", ix.Len())
+	}
+	if _, ok := ix.Get(1); !ok {
+		t.Fatal("whole entry lost to torn-tail truncation")
+	}
+}
+
+// TestIndexGetIsolation: Get must deep-copy, so a caller mutating the
+// returned slices cannot corrupt the index.
+func TestIndexGetIsolation(t *testing.T) {
+	ix, err := OpenIndex(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if err := ix.Put(testEntry(1)); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ix.Get(1)
+	a.Artifacts[0].Name = "tampered"
+	a.Report.Steps = -1
+	b, _ := ix.Get(1)
+	if b.Artifacts[0].Name == "tampered" || b.Report.Steps == -1 {
+		t.Fatal("Get returned aliased state")
+	}
+}

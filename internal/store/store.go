@@ -399,13 +399,10 @@ func (s *Store) Close() error {
 	return err
 }
 
-// writeRecord frames one record: u32-LE payload length, u32-LE CRC32
-// (IEEE) of the payload, payload JSON.
-func writeRecord(w io.Writer, rec record) (int, error) {
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return 0, err
-	}
+// writeFrame writes one CRC frame: u32-LE payload length, u32-LE CRC32
+// (IEEE) of the payload, payload bytes. Shared by the journal and the
+// artifact index, so both survive a SIGKILL mid-append the same way.
+func writeFrame(w io.Writer, payload []byte) (int, error) {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
@@ -416,28 +413,47 @@ func writeRecord(w io.Writer, rec record) (int, error) {
 	return 8 + n, err
 }
 
-// readRecord reads one frame. io.EOF means a clean end; any other error
-// means a torn or corrupt frame starting at the current offset.
-func readRecord(r io.Reader) (record, error) {
-	var rec record
+// readFrame reads one CRC frame's payload. io.EOF means a clean end; any
+// other error means a torn or corrupt frame starting at the current offset.
+func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return rec, fmt.Errorf("store: torn frame header")
+			return nil, fmt.Errorf("store: torn frame header")
 		}
-		return rec, err // io.EOF: clean end
+		return nil, err // io.EOF: clean end
 	}
 	length := binary.LittleEndian.Uint32(hdr[0:4])
 	sum := binary.LittleEndian.Uint32(hdr[4:8])
 	if length > maxRecordLen {
-		return rec, fmt.Errorf("store: frame length %d exceeds limit", length)
+		return nil, fmt.Errorf("store: frame length %d exceeds limit", length)
 	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return rec, fmt.Errorf("store: torn frame payload: %w", err)
+		return nil, fmt.Errorf("store: torn frame payload: %w", err)
 	}
 	if crc32.ChecksumIEEE(payload) != sum {
-		return rec, fmt.Errorf("store: frame CRC mismatch")
+		return nil, fmt.Errorf("store: frame CRC mismatch")
+	}
+	return payload, nil
+}
+
+// writeRecord frames one journal record as JSON.
+func writeRecord(w io.Writer, rec record) (int, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	return writeFrame(w, payload)
+}
+
+// readRecord reads one journal frame. io.EOF means a clean end; any other
+// error means a torn or corrupt frame starting at the current offset.
+func readRecord(r io.Reader) (record, error) {
+	var rec record
+	payload, err := readFrame(r)
+	if err != nil {
+		return rec, err
 	}
 	if err := json.Unmarshal(payload, &rec); err != nil {
 		return rec, fmt.Errorf("store: frame payload: %w", err)
