@@ -25,6 +25,11 @@
 // their cadence — until -drain expires, then the remainder is cancelled
 // through the scheduler and every result is flushed before exit.
 //
+// SIGHUP hot-reloads the -keys file: new keys and quotas apply to the next
+// request, running jobs keep their admitted tenant identity, and a file
+// that fails validation is rejected wholesale (the old keys stay live).
+// Admin tenants can trigger the same reload with POST /v1/admin/reload.
+//
 // With -store-dir the daemon is durable: every submission's lifecycle is
 // journaled, and a restart — graceful OR a straight SIGKILL — replays the
 // journal, re-queues every unfinished job under its original id, and
@@ -62,8 +67,10 @@ func main() {
 		retries   = flag.Int("retries", 1, "default extra attempts per job after a transient failure (specs may override)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before running jobs are cancelled")
 		storeDir  = flag.String("store-dir", "", "durable job-journal directory (empty = in-memory only; with it, restarts recover unfinished jobs)")
-		keys      = flag.String("keys", "", "tenant key file enabling bearer-key auth and per-tenant quotas (empty = open access)")
+		keys      = flag.String("keys", "", "tenant key file enabling bearer-key auth and per-tenant quotas (empty = open access; SIGHUP or POST /v1/admin/reload re-reads it live)")
 		diagRing  = flag.Int("diag-ring", 0, "per-job diagnostics replay ring size (0 = 512): how far back an SSE client can resume with Last-Event-ID before hitting an explicit gap")
+		compactB  = flag.Int64("journal-compact-bytes", 0, "journal size that triggers online compaction (0 = 1 MiB default, negative disables)")
+		compactN  = flag.Int("journal-compact-records", 0, "journal record count that triggers online compaction (0 = 4096 default, negative disables)")
 	)
 	flag.Parse()
 
@@ -77,15 +84,18 @@ func main() {
 	}
 
 	srv, err := serve.New(context.Background(), serve.Config{
-		Catalog:         catalog.Default(),
-		Workers:         *workers,
-		Budget:          *budget,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvery,
-		Retries:         *retries,
-		RingSize:        *diagRing,
-		StoreDir:        *storeDir,
-		Tenants:         reg,
+		Catalog:               catalog.Default(),
+		Workers:               *workers,
+		Budget:                *budget,
+		CheckpointDir:         *ckptDir,
+		CheckpointEvery:       *ckptEvery,
+		Retries:               *retries,
+		RingSize:              *diagRing,
+		StoreDir:              *storeDir,
+		Tenants:               reg,
+		KeysPath:              *keys,
+		JournalCompactBytes:   *compactB,
+		JournalCompactRecords: *compactN,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -103,12 +113,31 @@ func main() {
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
-	select {
-	case s := <-sig:
-		log.Printf("%v: draining (budget %v)", s, *drain)
-	case err := <-errCh:
-		log.Fatalf("http server: %v", err)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case s := <-sig:
+			if s == syscall.SIGHUP {
+				// Hot key reload: re-read -keys and swap the registry whole.
+				// A file that fails validation is rejected wholesale — the
+				// old keys keep working, the daemon keeps running.
+				if *keys == "" {
+					log.Printf("SIGHUP: no -keys file to reload")
+					continue
+				}
+				if n, err := srv.ReloadKeys(); err != nil {
+					log.Printf("SIGHUP: key file rejected, previous keys stay live: %v", err)
+				} else {
+					log.Printf("SIGHUP: key file reloaded, %d tenants live", n)
+				}
+				continue
+			}
+			log.Printf("%v: draining (budget %v)", s, *drain)
+			break loop
+		case err := <-errCh:
+			log.Fatalf("http server: %v", err)
+		}
 	}
 
 	// Graceful drain: scheduler first (stop intake, let work finish or

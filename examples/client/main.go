@@ -62,10 +62,32 @@ func main() {
 		res     = flag.String("res", "16x32,32x64", "NXxNV resolutions to submit")
 		until   = flag.Float64("until", 10, "integration time ω_p·t")
 		tok     = flag.String("token", "", "tenant bearer key for a daemon started with -keys (empty = anonymous)")
+		reload  = flag.Bool("reload", false, "POST /v1/admin/reload (hot key-file reload; -token must be an admin tenant's key) and exit")
 	)
 	flag.Parse()
 	base := strings.TrimRight(*addr, "/")
 	token = *tok
+
+	if *reload {
+		// The operator path: ask the daemon to re-read its key file. A 403
+		// means the token's tenant lacks "admin": true; a 422 means the new
+		// file failed validation and the old keys are still live.
+		resp, err := do(http.MethodPost, base+"/v1/admin/reload", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatal(explain(resp.StatusCode, raw))
+		}
+		var out struct {
+			Tenants int `json:"tenants"`
+		}
+		json.Unmarshal(raw, &out)
+		log.Printf("key file reloaded: %d tenants live", out.Tenants)
+		return
+	}
 
 	// Submit the grid: one JSON spec per scheme × resolution cell.
 	var ids []int

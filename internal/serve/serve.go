@@ -12,6 +12,7 @@
 //	GET    /v1/jobs/{id}/checkpoints     list the job's snapshot artifacts
 //	GET    /v1/jobs/{id}/checkpoints/{file}  download one artifact
 //	GET    /v1/scenarios                 the catalog's contract surface
+//	POST   /v1/admin/reload              hot key-file reload (admin tenants)
 //	GET    /healthz                      liveness
 //	GET    /metrics                      text-format counters
 //
@@ -65,6 +66,13 @@
 // CoreBudget divides cores fairly across tenants before priority orders
 // jobs within one. /healthz and /metrics stay unauthenticated: they are
 // the probe surface infrastructure scrapes without credentials.
+//
+// Live operation (see admin.go): the registry is hot-reloadable behind an
+// atomic pointer (SIGHUP or POST /v1/admin/reload), every admission
+// decision is audited to the store's append-only audit.v6da and counted
+// in vlasovd_admission_total{tenant,outcome}, the journal compacts itself
+// online past Config.JournalCompact* thresholds, and per-tenant
+// max_storage_bytes quotas are enforced on the checkpoint-notify path.
 package serve
 
 import (
@@ -82,6 +90,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vlasov6d/internal/catalog"
@@ -134,7 +143,28 @@ type Config struct {
 	// Tenants enables bearer-key authentication and per-tenant admission
 	// control on the /v1 surface (nil = open access, no tenancy).
 	Tenants *tenant.Registry
+	// KeysPath is the key file Tenants was loaded from; setting it enables
+	// hot reload (SIGHUP in cmd/vlasovd, POST /v1/admin/reload here). A
+	// reload re-reads this path and swaps the registry atomically; empty
+	// means the registry is fixed for the server's lifetime.
+	KeysPath string
+	// JournalCompactBytes / JournalCompactRecords arm online journal
+	// compaction: when the journal file crosses either threshold (and has
+	// terminal records to drop), it is rewritten in place — under the
+	// store's own lock, safe against concurrent appends. 0 picks the
+	// defaults (1 MiB / 4096 records); negative disables that threshold.
+	JournalCompactBytes   int64
+	JournalCompactRecords int
 }
+
+// Default online journal-compaction thresholds: crossing either triggers
+// a live rewrite. Both are far above a healthy journal's steady state —
+// boot compaction already drops terminal jobs — so the online pass only
+// fires on long uptimes, which is exactly when it is needed.
+const (
+	DefaultJournalCompactBytes   = 1 << 20
+	DefaultJournalCompactRecords = 4096
+)
 
 // jobEntry is the server-side record of one submission: the spec it came
 // from, its replayable event ring, the SSE subscribers watching it, and
@@ -160,6 +190,14 @@ type jobEntry struct {
 	eta      *machine.ETAEstimator
 	runStart time.Time
 	result   *sched.Result // non-nil once terminal
+	// ckptDir is the job's checkpoint directory ("" when the server does
+	// not checkpoint); ckptBytes is its last measured on-disk size — the
+	// tenant storage-quota accounting. quotaErr, once set, marks the job
+	// failed-by-quota: its status reports failed even though the scheduler
+	// delivers the underlying stop as a cancellation.
+	ckptDir   string
+	ckptBytes int64
+	quotaErr  string
 }
 
 // ringTerminalTail is how many ring events a terminal job keeps: enough
@@ -175,19 +213,29 @@ type Server struct {
 	stream *sched.Stream
 	store  *store.Store // nil without StoreDir
 	index  *store.Index // nil without StoreDir — the artifact index
+	audit  *store.Audit // nil without StoreDir — the admission audit log
 	cancel context.CancelFunc
 	start  time.Time
 
-	mu       sync.Mutex
-	jobs     map[int]*jobEntry // keyed by external id
-	byStream map[int]int       // live stream id → external id
-	queued   map[string]int    // per-tenant queued (not yet running) jobs
-	nextID   int               // external id counter when no store persists one
-	terminal []int             // terminal entry ids oldest-first — the eviction queue
-	draining bool
+	// tenants is the live registry, swapped whole by ReloadKeys — every
+	// request-path lookup goes through registry(), never cfg.Tenants
+	// (which only records what the server started with). A nil load means
+	// the daemon runs open.
+	tenants atomic.Pointer[tenant.Registry]
+
+	mu        sync.Mutex
+	jobs      map[int]*jobEntry // keyed by external id
+	byStream  map[int]int       // live stream id → external id
+	queued    map[string]int    // per-tenant queued (not yet running) jobs
+	storage   map[string]int64  // per-tenant tracked checkpoint bytes on disk
+	admission map[admKey]int64  // admission decisions by (tenant, outcome)
+	nextID    int               // external id counter when no store persists one
+	terminal  []int             // terminal entry ids oldest-first — the eviction queue
+	draining  bool
 
 	// counters, guarded by mu: the /metrics surface.
 	submitted, completed, failed, cancelled, retried, recovered int64
+	reloads, reloadsFailed                                      int64
 	// sseDropped counts diagnostics events lost before SSE delivery:
 	// observer-queue evictions plus ring evictions a connected client was
 	// told about via "gap". sseReplayed counts events re-served from rings
@@ -222,15 +270,20 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	}
 	sctx, cancel := context.WithCancel(ctx)
 	s := &Server{
-		cfg:      cfg,
-		cancel:   cancel,
-		start:    time.Now(),
-		jobs:     make(map[int]*jobEntry),
-		byStream: make(map[int]int),
-		queued:   make(map[string]int),
-		drained:  make(chan struct{}),
+		cfg:       cfg,
+		cancel:    cancel,
+		start:     time.Now(),
+		jobs:      make(map[int]*jobEntry),
+		byStream:  make(map[int]int),
+		queued:    make(map[string]int),
+		storage:   make(map[string]int64),
+		admission: make(map[admKey]int64),
+		drained:   make(chan struct{}),
 	}
 	s.thrStart = s.start
+	if cfg.Tenants != nil {
+		s.tenants.Store(cfg.Tenants)
+	}
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir)
 		if err != nil {
@@ -238,6 +291,20 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.store = st
+		compactBytes, compactRecords := cfg.JournalCompactBytes, cfg.JournalCompactRecords
+		if compactBytes == 0 {
+			compactBytes = DefaultJournalCompactBytes
+		}
+		if compactRecords == 0 {
+			compactRecords = DefaultJournalCompactRecords
+		}
+		if compactBytes < 0 {
+			compactBytes = 0
+		}
+		if compactRecords < 0 {
+			compactRecords = 0
+		}
+		st.SetAutoCompact(compactBytes, compactRecords)
 		ix, err := store.OpenIndex(cfg.StoreDir)
 		if err != nil {
 			cancel()
@@ -245,6 +312,14 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.index = ix
+		au, err := store.OpenAudit(cfg.StoreDir)
+		if err != nil {
+			cancel()
+			ix.Close()
+			st.Close()
+			return nil, err
+		}
+		s.audit = au
 	}
 	opts := []sched.Option{
 		sched.WithNotify(s.onUpdate),
@@ -283,6 +358,11 @@ func (s *Server) closeStore() {
 	s.storeOnce.Do(func() {
 		if s.store != nil {
 			s.store.Close()
+		}
+		if s.audit != nil {
+			// In-memory reads (index.Get) stay valid after Close; only
+			// appends are fenced, and a post-drain append is a bug anyway.
+			s.audit.Close()
 		}
 	})
 }
@@ -347,10 +427,10 @@ func (s *Server) recoverJobs() {
 		}
 		job := res[i].job
 		job.Tenant = j.Tenant
-		if s.cfg.Tenants != nil {
+		if reg := s.registry(); reg != nil {
 			// Quotas are re-read from the current registry: the key file is
 			// the live source of truth, the journal only remembers ownership.
-			if tn, ok := s.cfg.Tenants.ByName(j.Tenant); ok {
+			if tn, ok := reg.ByName(j.Tenant); ok {
 				job.TenantCores = tn.MaxCores
 			}
 		}
@@ -362,6 +442,12 @@ func (s *Server) recoverJobs() {
 			ring:      newEventRing(s.cfg.RingSize),
 			subs:      make(map[chan struct{}]struct{}),
 			eta:       machine.NewETAEstimator(job.Until),
+		}
+		if s.cfg.CheckpointDir != "" {
+			// Prime the storage accounting with what the previous life left
+			// on disk, so a recovered tenant starts its quota from reality.
+			entry.ckptDir = sched.JobCheckpointDir(s.cfg.CheckpointDir, job.Name)
+			entry.ckptBytes = scanCheckpointBytes(entry.ckptDir)
 		}
 		s.attach(&job, entry)
 		s.mu.Lock()
@@ -375,6 +461,7 @@ func (s *Server) recoverJobs() {
 		s.jobs[j.ID] = entry
 		s.byStream[sid] = j.ID
 		s.queued[j.Tenant]++
+		s.storage[j.Tenant] += entry.ckptBytes
 		s.recovered++
 		s.mu.Unlock()
 	}
@@ -396,15 +483,22 @@ func (s *Server) consumeResults() {
 		}
 		var ixEntry *store.IndexEntry
 		s.mu.Lock()
-		switch r.Status {
-		case sched.Done:
-			s.completed++
-		case sched.Failed:
+		eid, tracked := s.byStream[r.ID]
+		// A storage-quota kill arrives from the scheduler as a cancellation,
+		// but the server's truth — already journaled at enforcement time —
+		// is a failure. Count and report it as one.
+		quotaFailed := tracked && s.jobs[eid] != nil && s.jobs[eid].quotaErr != ""
+		switch {
+		case quotaFailed:
 			s.failed++
-		case sched.Cancelled:
+		case r.Status == sched.Done:
+			s.completed++
+		case r.Status == sched.Failed:
+			s.failed++
+		case r.Status == sched.Cancelled:
 			s.cancelled++
 		}
-		if eid, ok := s.byStream[r.ID]; ok {
+		if tracked {
 			e := s.jobs[eid]
 			e.result = &r
 			delete(s.byStream, r.ID)
@@ -412,12 +506,12 @@ func (s *Server) consumeResults() {
 				e.queuedNow = false
 				s.queued[e.tenant]--
 			}
-			if s.store != nil {
+			if s.store != nil && !quotaFailed {
 				// Done and Failed are journaled terminal; a user DELETE was
-				// journaled at cancel time. A shutdown cancellation is the
-				// one outcome that must NOT reach the journal: the job stays
-				// pending there, and replaying it on the next start IS the
-				// recovery path.
+				// journaled at cancel time, a quota kill at enforcement time.
+				// A shutdown cancellation is the one outcome that must NOT
+				// reach the journal: the job stays pending there, and
+				// replaying it on the next start IS the recovery path.
 				switch r.Status {
 				case sched.Done:
 					s.store.Terminal(eid, "done", "")
@@ -443,6 +537,13 @@ func (s *Server) consumeResults() {
 			// handlers keep their pointer and still see the result.
 			s.terminal = append(s.terminal, eid)
 			for len(s.terminal) > s.cfg.History {
+				// An evicted entry leaves the quota accounting too: its
+				// snapshots are no longer eviction candidates, so counting
+				// them against the tenant would wedge the quota on bytes
+				// the enforcer can never reclaim.
+				if old := s.jobs[s.terminal[0]]; old != nil && old.ckptBytes != 0 {
+					s.storage[old.tenant] -= old.ckptBytes
+				}
 				delete(s.jobs, s.terminal[0])
 				s.terminal = s.terminal[1:]
 			}
@@ -472,6 +573,12 @@ func indexEntryLocked(e *jobEntry, r *sched.Result, artifacts []store.Artifact) 
 	}
 	if r.Err != nil {
 		ie.Error = r.Err.Error()
+	}
+	if e.quotaErr != "" {
+		// The durable record carries the quota failure, not the
+		// cancellation the scheduler used to deliver it.
+		ie.Status = "failed"
+		ie.Error = e.quotaErr
 	}
 	if rep := r.Report; rep != nil {
 		ie.Report = &store.ReportSummary{
@@ -576,6 +683,10 @@ func (s *Server) attach(job *sched.Job, entry *jobEntry) {
 				id := entry.id
 				s.mu.Unlock()
 				s.store.CheckpointWritten(id, clock)
+				// Storage accounting and quota enforcement ride the same
+				// notification — it runs off the step loop, so the directory
+				// re-measure (and any eviction) never stalls the solver.
+				s.noteCheckpoint(entry)
 			}))
 	}
 }
@@ -682,6 +793,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints", s.handleCheckpoints)
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints/{file}", s.handleCheckpointFile)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /v1/admin/reload", s.handleAdminReload)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.Tenants == nil {
@@ -702,12 +814,17 @@ func (s *Server) withAuth(next http.Handler) http.Handler {
 		}
 		key, ok := bearerToken(r)
 		if !ok {
+			s.recordAdmission("", "401", "missing bearer token", "", 0)
 			w.Header().Set("WWW-Authenticate", `Bearer realm="vlasovd"`)
 			writeErr(w, http.StatusUnauthorized, fmt.Errorf("serve: missing bearer token"))
 			return
 		}
-		tn, ok := s.cfg.Tenants.Lookup(key)
+		// The lookup goes through the live registry, not the one the server
+		// started with: a key rotated out by a reload stops working on the
+		// very next request.
+		tn, ok := s.registry().Lookup(key)
 		if !ok {
+			s.recordAdmission("", "401", "unknown bearer token", "", 0)
 			w.Header().Set("WWW-Authenticate", `Bearer realm="vlasovd", error="invalid_token"`)
 			writeErr(w, http.StatusUnauthorized, fmt.Errorf("serve: unknown bearer token"))
 			return
@@ -760,10 +877,13 @@ const drainRetryAfter = 10 * time.Second
 // the tenant's rate limit and queue quota, journals it, and submits it.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	tn, _ := tenant.FromContext(r.Context())
+	tenantName := ""
 	if tn != nil {
+		tenantName = tn.Name
 		// The rate limit gates the request, not just the acceptance — a
 		// flood of malformed specs is still a flood.
 		if ok, wait := tn.Allow(time.Now()); !ok {
+			s.recordAdmission(tenantName, "429", "rate-limited", "", 0)
 			writeRetryErr(w, http.StatusTooManyRequests, wait,
 				fmt.Errorf("serve: tenant %q rate-limited", tn.Name))
 			return
@@ -797,6 +917,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		job.Tenant = tn.Name
 		job.TenantCores = tn.MaxCores
 	}
+	if s.cfg.CheckpointDir != "" {
+		entry.ckptDir = sched.JobCheckpointDir(s.cfg.CheckpointDir, job.Name)
+	}
+	hash := specHashOf(spec)
 	s.attach(&job, entry)
 	// Registration holds s.mu across SubmitID so the notify callback —
 	// which also takes s.mu — cannot observe the job before its entry
@@ -804,12 +928,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.recordAdmission(tenantName, "503", "draining", hash, 0)
 		writeRetryErr(w, http.StatusServiceUnavailable, drainRetryAfter,
 			fmt.Errorf("serve: draining, not accepting work"))
 		return
 	}
 	if tn != nil && tn.MaxQueued > 0 && s.queued[tn.Name] >= tn.MaxQueued {
 		s.mu.Unlock()
+		s.recordAdmission(tenantName, "429",
+			fmt.Sprintf("queue quota (%d) exhausted", tn.MaxQueued), hash, 0)
 		writeRetryErr(w, http.StatusTooManyRequests, time.Second,
 			fmt.Errorf("serve: tenant %q queue quota (%d) exhausted", tn.Name, tn.MaxQueued))
 		return
@@ -823,6 +950,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// rejection is a true conflict with existing state.
 		if errors.Is(err, sched.ErrStreamClosed) ||
 			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.recordAdmission(tenantName, "503", err.Error(), hash, 0)
 			writeRetryErr(w, http.StatusServiceUnavailable, drainRetryAfter, err)
 			return
 		}
@@ -844,6 +972,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	s.recordAdmission(tenantName, "accept", "", hash, id)
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":     id,
 		"name":   job.Name,
@@ -879,6 +1008,12 @@ func statusBody(e *jobEntry, js sched.JobSnapshot) map[string]any {
 		if r.Err != nil {
 			errMsg = r.Err.Error()
 		}
+	}
+	if e.quotaErr != "" {
+		// A storage-quota kill travels through the scheduler as a
+		// cancellation; the status document reports the truth.
+		status = sched.Failed.String()
+		errMsg = e.quotaErr
 	}
 	body := map[string]any{
 		"id":        e.id,
@@ -942,6 +1077,8 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*jobEntry, sche
 		if s.index != nil {
 			if ie, found := s.index.Get(id); found {
 				if tn, authed := tenant.FromContext(r.Context()); authed && ie.Tenant != tn.Name {
+					s.recordAdmission(tn.Name, "403",
+						fmt.Sprintf("job %d belongs to another tenant", id), "", id)
 					writeErr(w, http.StatusForbidden, fmt.Errorf("serve: job %d belongs to another tenant", id))
 					return nil, sched.JobSnapshot{}, nil, false
 				}
@@ -952,6 +1089,8 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*jobEntry, sche
 		return nil, sched.JobSnapshot{}, nil, false
 	}
 	if tn, authed := tenant.FromContext(r.Context()); authed && e.tenant != tn.Name {
+		s.recordAdmission(tn.Name, "403",
+			fmt.Sprintf("job %d belongs to another tenant", id), "", id)
 		writeErr(w, http.StatusForbidden, fmt.Errorf("serve: job %d belongs to another tenant", id))
 		return nil, sched.JobSnapshot{}, nil, false
 	}
@@ -1122,6 +1261,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for name, n := range s.queued {
 		queued[name] = n
 	}
+	storage := make(map[string]int64, len(s.storage))
+	for name, n := range s.storage {
+		storage[name] = n
+	}
+	admission := make(map[admKey]int64, len(s.admission))
+	for k, n := range s.admission {
+		admission[k] = n
+	}
+	reloads, reloadsFailed := s.reloads, s.reloadsFailed
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	counter := func(name, help string, v int64) {
@@ -1136,6 +1284,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("vlasovd_jobs_cancelled_total", "Jobs that reached Cancelled.", cancelled)
 	counter("vlasovd_jobs_retried_total", "Retry attempts across all jobs.", retried)
 	counter("vlasovd_jobs_recovered_total", "Journaled jobs re-queued at startup.", recovered)
+	if s.registry() != nil {
+		counter("vlasovd_key_reloads_total", "Key-file reloads applied (SIGHUP or /v1/admin/reload).", reloads)
+		counter("vlasovd_key_reload_failures_total", "Key-file reloads rejected by validation (old registry stayed live).", reloadsFailed)
+	}
+	if s.store != nil {
+		fmt.Fprintf(w, "# HELP vlasovd_journal_bytes On-disk size of the job journal (online compaction keeps it bounded).\n# TYPE vlasovd_journal_bytes gauge\nvlasovd_journal_bytes %d\n", s.store.Size())
+	}
 	counter("vlasovd_sse_dropped_total", "Diagnostics events lost before SSE delivery (observer back-pressure plus ring evictions seen by connected clients).", sseDropped)
 	counter("vlasovd_sse_replayed_total", "Events re-served from per-job rings on Last-Event-ID resumes.", sseReplayed)
 	counter("vlasovd_steps_observed_total", "Solver steps observed through the diagnostics pipeline across all jobs.", stepsObserved)
@@ -1150,9 +1305,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// included, so dashboards see a stable series set), plus any tenant
 	// the journal resurrected that the current key file no longer lists.
 	names := make(map[string]bool)
-	if s.cfg.Tenants != nil {
-		for _, tn := range s.cfg.Tenants.Tenants() {
+	if reg := s.registry(); reg != nil {
+		// The LIVE registry drives the series set: a tenant added by a
+		// reload appears on the next scrape, zeros included.
+		for _, tn := range reg.Tenants() {
 			names[tn.Name] = true
+		}
+	}
+	for name := range storage {
+		if name != "" {
+			names[name] = true
 		}
 	}
 	var held map[string]int
@@ -1184,6 +1346,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE vlasovd_tenant_queue_depth gauge\n")
 		for _, name := range ordered {
 			fmt.Fprintf(w, "vlasovd_tenant_queue_depth{tenant=\"%s\"} %d\n", escapeLabel(name), queued[name])
+		}
+		fmt.Fprintf(w, "# HELP vlasovd_tenant_storage_bytes Checkpoint bytes on disk tracked against the tenant's storage quota.\n")
+		fmt.Fprintf(w, "# TYPE vlasovd_tenant_storage_bytes gauge\n")
+		for _, name := range ordered {
+			fmt.Fprintf(w, "vlasovd_tenant_storage_bytes{tenant=\"%s\"} %d\n", escapeLabel(name), storage[name])
+		}
+	}
+	if len(admission) > 0 {
+		// Admission outcomes, one series per (tenant, outcome) observed.
+		// tenant="" is a request that never authenticated (the 401s).
+		keys := make([]admKey, 0, len(admission))
+		for k := range admission {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].tenant != keys[j].tenant {
+				return keys[i].tenant < keys[j].tenant
+			}
+			return keys[i].outcome < keys[j].outcome
+		})
+		fmt.Fprintf(w, "# HELP vlasovd_admission_total Admission decisions by tenant and outcome (accept, 401, 403, 429, 503).\n")
+		fmt.Fprintf(w, "# TYPE vlasovd_admission_total counter\n")
+		for _, k := range keys {
+			fmt.Fprintf(w, "vlasovd_admission_total{tenant=\"%s\",outcome=\"%s\"} %d\n",
+				escapeLabel(k.tenant), escapeLabel(k.outcome), admission[k])
 		}
 	}
 }

@@ -1,0 +1,167 @@
+// The admission audit log: an append-only record of every decision the
+// control plane's front door makes. The journal (store.go) remembers
+// accepted work and the index (index.go) remembers finished work; neither
+// remembers the requests the daemon REFUSED — the 401 from a rotated-out
+// key, the 429 that throttled a runaway submitter, the 503 during a
+// drain. For a machine shared by many groups over a long campaign
+// (the paper's T2K-style operation model), that refusal record is what an
+// operator consults when a tenant claims their jobs "disappeared": the
+// audit log says exactly what was presented, when, and why it was turned
+// away — or accepted, with the hash of the spec that was admitted.
+//
+// One AuditRecord per decision, CRC-framed JSON (the same frame codec as
+// the journal, so a SIGKILL mid-append leaves at worst a torn tail that
+// the next OpenAudit truncates). The log is deliberately never compacted:
+// it is the history, and history is append-only. Rotation, when a
+// deployment needs it, is an operator move (rename the file, HUP the
+// daemon) — the daemon itself never rewrites audit.v6da.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// auditName is the audit log file inside the store directory.
+const auditName = "audit.v6da"
+
+// AuditRecord is one admission decision.
+type AuditRecord struct {
+	// UnixNano is when the decision was made.
+	UnixNano int64 `json:"unix_nano"`
+	// Tenant names the authenticated tenant ("" when authentication itself
+	// failed, or when the daemon runs open).
+	Tenant string `json:"tenant,omitempty"`
+	// Outcome is the decision: "accept" for an admitted submission, or the
+	// refusing status code as a string — "401", "403", "429", "503" — plus
+	// the operator events "reload" / "reload_failed" for key-file swaps.
+	Outcome string `json:"outcome"`
+	// Reason is the human-readable explanation (the same text the HTTP
+	// error body carried).
+	Reason string `json:"reason,omitempty"`
+	// SpecHash is the SHA-256 hex of the canonical spec bytes, when the
+	// decision concerned a parseable spec (accepts always carry it).
+	SpecHash string `json:"spec_hash,omitempty"`
+	// JobID is the admitted job's persistent id (accepts only).
+	JobID int `json:"job_id,omitempty"`
+}
+
+// At converts the wire timestamp.
+func (r AuditRecord) At() time.Time { return time.Unix(0, r.UnixNano) }
+
+// Audit is an open audit log. All methods are safe for concurrent use.
+type Audit struct {
+	dir string
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenAudit opens (creating if absent) the audit log under dir. A torn
+// tail — the half-written record a SIGKILL can leave — is truncated at
+// the last whole record. Unlike the journal, nothing is dropped:
+// replay here only finds the end of the valid prefix.
+func OpenAudit(dir string) (*Audit, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	a := &Audit{dir: dir}
+	f, err := os.OpenFile(a.path(), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: audit: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: audit: %w", err)
+	}
+	good := int64(0)
+	r := &countingReader{r: f}
+	for {
+		if _, err := readFrame(r); err != nil {
+			break // io.EOF: clean end; anything else: torn tail
+		}
+		good = r.n
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: audit truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: audit: %w", err)
+	}
+	a.f = f
+	return a, nil
+}
+
+// path is the audit log file path.
+func (a *Audit) path() string { return filepath.Join(a.dir, auditName) }
+
+// Append records one decision and fsyncs it. An audit entry that could be
+// lost to a crash is not an audit entry.
+func (a *Audit) Append(rec AuditRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: audit record: %w", err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.f == nil {
+		return fmt.Errorf("store: audit closed")
+	}
+	if _, err := writeFrame(a.f, payload); err != nil {
+		return fmt.Errorf("store: audit append: %w", err)
+	}
+	if err := a.f.Sync(); err != nil {
+		return fmt.Errorf("store: audit sync: %w", err)
+	}
+	return nil
+}
+
+// ReadAuditLog reads every whole record from an audit log file, stopping
+// cleanly at a torn tail — the offline consumer (tests, operator
+// tooling). Reading does not require, or take, the writing daemon's lock:
+// the log is append-only, so a concurrent read sees a valid prefix.
+func ReadAuditLog(dir string) ([]AuditRecord, error) {
+	f, err := os.Open(filepath.Join(dir, auditName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: audit: %w", err)
+	}
+	defer f.Close()
+	var out []AuditRecord
+	r := &countingReader{r: f}
+	for {
+		payload, err := readFrame(r)
+		if err != nil {
+			return out, nil
+		}
+		var rec AuditRecord
+		if json.Unmarshal(payload, &rec) != nil {
+			continue // unknown shape from a newer daemon: skip, keep reading
+		}
+		out = append(out, rec)
+	}
+}
+
+// Close closes the audit log. Appends after Close fail.
+func (a *Audit) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.f == nil {
+		return nil
+	}
+	err := a.f.Close()
+	a.f = nil
+	return err
+}

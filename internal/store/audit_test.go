@@ -1,0 +1,103 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestAuditRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAudit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UnixNano()
+	recs := []AuditRecord{
+		{UnixNano: now, Tenant: "alice", Outcome: "accept", SpecHash: "abc123", JobID: 7},
+		{UnixNano: now + 1, Outcome: "401", Reason: "unknown bearer token"},
+		{UnixNano: now + 2, Tenant: "bob", Outcome: "429", Reason: "rate-limited"},
+	}
+	for _, r := range recs {
+		if err := a.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Concurrent read without the writer's lock: the log is append-only.
+	got, err := ReadAuditLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+	a.Close()
+
+	// Reopen appends after the existing records, never over them.
+	a2, err := OpenAudit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if err := a2.Append(AuditRecord{UnixNano: now + 3, Outcome: "503", Reason: "draining"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadAuditLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[3].Outcome != "503" {
+		t.Fatalf("after reopen: %+v", got)
+	}
+}
+
+func TestAuditTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAudit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(AuditRecord{Outcome: "accept"}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	path := filepath.Join(dir, auditName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x00, 0x00, 0x00, 0x12}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	a2, err := OpenAudit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if err := a2.Append(AuditRecord{Outcome: "401"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAuditLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Outcome != "accept" || got[1].Outcome != "401" {
+		t.Fatalf("after torn tail: %+v", got)
+	}
+}
+
+func TestReadAuditLogMissingFile(t *testing.T) {
+	got, err := ReadAuditLog(t.TempDir())
+	if err != nil || got != nil {
+		t.Fatalf("missing audit log: %v, %v", got, err)
+	}
+}

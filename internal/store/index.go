@@ -99,6 +99,8 @@ type Index struct {
 // OpenIndex replays (and compacts) the artifact index under dir, creating
 // the directory and an empty index when none exists. A torn tail is
 // truncated at the last whole entry; duplicate ids keep the newest entry.
+// A stale index.v6di.tmp from a compaction killed mid-rewrite is removed
+// unread — the rename never happened, so the real index is authoritative.
 func OpenIndex(dir string) (*Index, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
@@ -107,10 +109,14 @@ func OpenIndex(dir string) (*Index, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	ix := &Index{dir: dir, byID: make(map[int]*IndexEntry)}
+	os.Remove(ix.path() + ".tmp")
 	if err := ix.replay(); err != nil {
 		return nil, err
 	}
-	if err := ix.compact(); err != nil {
+	ix.mu.Lock()
+	err := ix.compactLocked()
+	ix.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	return ix, nil
@@ -123,6 +129,12 @@ func (ix *Index) path() string { return filepath.Join(ix.dir, indexName) }
 func (ix *Index) replay() error {
 	f, err := os.OpenFile(ix.path(), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// First-create durability: the file's directory entry must survive a
+	// power loss, same as the journal's.
+	if err := syncDir(ix.dir); err != nil {
+		f.Close()
 		return fmt.Errorf("store: %w", err)
 	}
 	good := int64(0)
@@ -154,11 +166,25 @@ func (ix *Index) replay() error {
 	return nil
 }
 
-// compact rewrites the index to one entry per id (the newest), atomically.
-// A daemon that re-runs a recovered job terminal-journals it twice across
-// lives; compaction keeps the file proportional to the distinct finished
-// set.
-func (ix *Index) compact() error {
+// Compact rewrites the index to one entry per id (the newest),
+// atomically, under the same mutex Put holds — safe to call on a live
+// daemon.
+func (ix *Index) Compact() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.compactLocked()
+}
+
+// compactLocked rewrites the index to one entry per id (the newest),
+// atomically. A daemon that re-runs a recovered job terminal-journals it
+// twice across lives; compaction keeps the file proportional to the
+// distinct finished set. Callers hold ix.mu (or, during OpenIndex,
+// exclusive access). The parent directory is fsynced after the rename —
+// see compactLocked on Store for why.
+func (ix *Index) compactLocked() error {
+	if ix.f == nil {
+		return fmt.Errorf("store: index closed")
+	}
 	tmp := ix.path() + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -187,6 +213,9 @@ func (ix *Index) compact() error {
 	}
 	if err := os.Rename(tmp, ix.path()); err != nil {
 		os.Remove(tmp)
+		return fmt.Errorf("store: index compact: %w", err)
+	}
+	if err := syncDir(ix.dir); err != nil {
 		return fmt.Errorf("store: index compact: %w", err)
 	}
 	ix.f.Close()

@@ -27,6 +27,16 @@
 // plane re-queues them into the stream and the existing checkpoint-resume
 // machinery (sched's WithJobCheckpoints + the catalog Restore hooks)
 // continues each one from its newest snapshot.
+//
+// Compaction is also available online: Compact is safe to call while
+// appends are in flight (it runs under the store mutex, temp + rename,
+// and the directory is fsynced after the rename so a power loss cannot
+// roll the rename back and resurrect terminal jobs), and SetAutoCompact
+// arms size/record thresholds that trigger it from the append path — a
+// long-running daemon's journal stays proportional to its live work
+// instead of growing until the next boot. A compaction interrupted by a
+// kill leaves at worst a stale journal.v6dj.tmp, which the next Open
+// removes without ever replaying it.
 package store
 
 import (
@@ -105,12 +115,25 @@ type Store struct {
 	f    *os.File
 	jobs map[int]*JobState
 	next int
+
+	// size/records track the journal file so auto-compaction can keep it
+	// bounded; terminals counts jobs whose records compaction would drop
+	// (compacting with nothing to drop would just rewrite the same bytes).
+	size      int64
+	records   int
+	terminals int
+	// autoBytes/autoRecords arm online auto-compaction (0 = off).
+	autoBytes   int64
+	autoRecords int
 }
 
 // Open replays (and compacts) the journal under dir, creating the
 // directory and an empty journal when none exists. A torn tail — the
 // half-written record a SIGKILL can leave — is truncated at the last whole
-// record; everything before it replays normally.
+// record; everything before it replays normally. A stale journal.v6dj.tmp
+// left by a compaction that was killed mid-rewrite is removed unread: the
+// rename never happened, so the real journal is authoritative and the tmp
+// must never be replayed.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
@@ -119,13 +142,36 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{dir: dir, jobs: make(map[int]*JobState)}
+	os.Remove(s.path() + ".tmp")
 	if err := s.replay(); err != nil {
 		return nil, err
 	}
-	if err := s.compact(); err != nil {
+	s.mu.Lock()
+	err := s.compactLocked()
+	s.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// SetAutoCompact arms online compaction: after any append that leaves the
+// journal over maxBytes bytes or maxRecords records (and with at least one
+// terminal job whose records compaction can drop), the journal is
+// compacted in place under the same mutex the append holds. Zero disables
+// the corresponding threshold.
+func (s *Store) SetAutoCompact(maxBytes int64, maxRecords int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.autoBytes = maxBytes
+	s.autoRecords = maxRecords
+}
+
+// Size reports the journal's current byte size (tests and metrics).
+func (s *Store) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
 }
 
 // Dir returns the store directory.
@@ -138,6 +184,13 @@ func (s *Store) path() string { return filepath.Join(s.dir, journalName) }
 func (s *Store) replay() error {
 	f, err := os.OpenFile(s.path(), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Make the journal's directory entry durable: a file created just
+	// before a power loss otherwise vanishes with the unfsynced directory,
+	// taking the first appended records with it.
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
 		return fmt.Errorf("store: %w", err)
 	}
 	good := int64(0)
@@ -155,6 +208,7 @@ func (s *Store) replay() error {
 			break
 		}
 		good = r.n
+		s.records++
 		s.apply(rec)
 	}
 	if err := f.Truncate(good); err != nil {
@@ -166,6 +220,7 @@ func (s *Store) replay() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.f = f
+	s.size = good
 	return nil
 }
 
@@ -199,6 +254,9 @@ func (s *Store) apply(rec record) {
 		}
 	case "terminal":
 		if j := s.jobs[rec.ID]; j != nil {
+			if !j.Terminal {
+				s.terminals++
+			}
 			j.Terminal = true
 			j.Status = rec.Status
 			j.Error = rec.Error
@@ -208,18 +266,42 @@ func (s *Store) apply(rec record) {
 	// must not lose the records it does understand.
 }
 
-// compact rewrites the journal to just the unfinished jobs (plus the id
-// seed), atomically, and drops terminal jobs from memory. The journal's
-// size is then proportional to the live campaign, not the daemon's whole
-// history.
-func (s *Store) compact() error {
+// Compact rewrites the journal to just the unfinished jobs (plus the id
+// seed), atomically, and drops terminal jobs from memory. Safe to call
+// while appends are in flight: the rewrite holds the same mutex every
+// append takes, so it sees (and preserves) a consistent snapshot and no
+// append can land between the temp write and the rename.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked is Compact's body. Callers hold s.mu (or, during Open,
+// exclusive access). The journal's size afterwards is proportional to the
+// live campaign, not the daemon's whole history.
+//
+// Durability: the temp file is fsynced before the rename, and the parent
+// directory is fsynced after it — without the second fsync a power loss
+// can roll the rename back to the pre-compaction journal, resurrecting
+// jobs whose terminal records were only in the window the rewrite dropped
+// folds away. (Post-compaction appends land in the new file; if the
+// rename un-happened they would be lost with it.)
+func (s *Store) compactLocked() error {
+	if s.f == nil {
+		return fmt.Errorf("store: closed")
+	}
 	tmp := s.path() + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
+	var size int64
+	records := 0
 	write := func(rec record) error {
-		_, err := writeRecord(f, rec)
+		n, err := writeRecord(f, rec)
+		size += int64(n)
+		records++
 		return err
 	}
 	err = write(record{Type: "seq", Next: s.next})
@@ -250,12 +332,18 @@ func (s *Store) compact() error {
 		os.Remove(tmp)
 		return fmt.Errorf("store: compact: %w", err)
 	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
 	s.f.Close()
 	f, err = os.OpenFile(s.path(), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: reopen after compact: %w", err)
 	}
 	s.f = f
+	s.size = size
+	s.records = records
+	s.terminals = 0
 	for id, j := range s.jobs {
 		if j.Terminal {
 			delete(s.jobs, id)
@@ -324,6 +412,7 @@ func (s *Store) Submitted(id int, tenantName string, spec json.RawMessage, at ti
 	}
 	s.jobs[id] = &JobState{ID: id, Tenant: tenantName,
 		Spec: append(json.RawMessage(nil), spec...), Submitted: at}
+	s.maybeAutoCompactLocked()
 	return nil
 }
 
@@ -337,6 +426,7 @@ func (s *Store) Started(id, attempt int) error {
 	if j := s.jobs[id]; j != nil && attempt > j.Attempts {
 		j.Attempts = attempt
 	}
+	s.maybeAutoCompactLocked()
 	return nil
 }
 
@@ -353,6 +443,7 @@ func (s *Store) CheckpointWritten(id int, clock float64) error {
 			j.LastCheckpointClock = clock
 		}
 	}
+	s.maybeAutoCompactLocked()
 	return nil
 }
 
@@ -366,10 +457,14 @@ func (s *Store) Terminal(id int, status, errMsg string) error {
 		return err
 	}
 	if j := s.jobs[id]; j != nil {
+		if !j.Terminal {
+			s.terminals++
+		}
 		j.Terminal = true
 		j.Status = status
 		j.Error = errMsg
 	}
+	s.maybeAutoCompactLocked()
 	return nil
 }
 
@@ -378,13 +473,36 @@ func (s *Store) appendLocked(rec record) error {
 	if s.f == nil {
 		return fmt.Errorf("store: closed")
 	}
-	if _, err := writeRecord(s.f, rec); err != nil {
+	n, err := writeRecord(s.f, rec)
+	s.size += int64(n)
+	if err != nil {
 		return fmt.Errorf("store: append: %w", err)
 	}
+	s.records++
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("store: sync: %w", err)
 	}
 	return nil
+}
+
+// maybeAutoCompactLocked compacts when an armed threshold is crossed and
+// compaction would actually shrink the journal (at least one terminal
+// job's records to drop — without that guard a journal sitting over the
+// threshold on live work alone would be rewritten on every append).
+// Called by the mutators AFTER their in-memory state update, never from
+// appendLocked itself: compacting between a terminal record's append and
+// its state update would rewrite the job as still pending. Compaction
+// failure is deliberately swallowed — the append that triggered it
+// already succeeded and fsynced, and a journal that has merely grown past
+// its soft bound is a working journal.
+func (s *Store) maybeAutoCompactLocked() {
+	if s.terminals == 0 {
+		return
+	}
+	if (s.autoBytes > 0 && s.size >= s.autoBytes) ||
+		(s.autoRecords > 0 && s.records >= s.autoRecords) {
+		s.compactLocked()
+	}
 }
 
 // Close closes the journal file. Appends after Close fail.
@@ -396,6 +514,22 @@ func (s *Store) Close() error {
 	}
 	err := s.f.Close()
 	s.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory: the durability step for metadata operations
+// (file creation, rename). An fsynced file inside an unfsynced directory
+// is not crash-durable — the rename that installed a compacted journal
+// can roll back on power loss, resurrecting the jobs it dropped.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }
 

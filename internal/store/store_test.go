@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -184,6 +185,192 @@ func TestUserCancelIsTerminal(t *testing.T) {
 	s2 := openStore(t, dir)
 	if got := len(s2.Pending()); got != 0 {
 		t.Fatalf("user-cancelled job replayed as pending")
+	}
+}
+
+// TestOnlineCompaction: with auto-compaction armed, journaling terminal
+// outcomes on a live store shrinks the journal in place — no reboot —
+// while pending jobs and the id counter survive intact.
+func TestOnlineCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	s.SetAutoCompact(0, 12)
+	spec := json.RawMessage(`{"scenario":"landau"}`)
+	now := time.Now()
+
+	// One long-lived pending job that must survive every compaction.
+	keeper := s.NextID()
+	if err := s.Submitted(keeper, "alice", spec, now); err != nil {
+		t.Fatal(err)
+	}
+	// Churn: short jobs that submit, run, and finish. Every terminal pushes
+	// the record count toward the threshold; auto-compaction keeps folding
+	// the finished ones away.
+	var peak int64
+	for i := 0; i < 40; i++ {
+		id := s.NextID()
+		if err := s.Submitted(id, "bob", spec, now); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Started(id, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Terminal(id, "done", ""); err != nil {
+			t.Fatal(err)
+		}
+		if sz := s.Size(); sz > peak {
+			peak = sz
+		}
+	}
+	// 40 jobs × 3 records would be ~120 records uncompacted; the threshold
+	// caps in-file growth. The final size must reflect only live work.
+	if got := len(s.Pending()); got != 1 || s.Pending()[0].ID != keeper {
+		t.Fatalf("pending after churn: %+v", s.Pending())
+	}
+	if sz := journalSize(t, dir); sz > peak/2 {
+		t.Fatalf("journal never shrank online: %d bytes on disk, peak %d", sz, peak)
+	}
+	// The post-compaction file is a valid journal: reopen and check.
+	s.Close()
+	s2 := openStore(t, dir)
+	if got := s2.Pending(); len(got) != 1 || got[0].ID != keeper || got[0].Tenant != "alice" {
+		t.Fatalf("replay after online compaction: %+v", got)
+	}
+	if next := s2.NextID(); next != 41 {
+		t.Fatalf("NextID after online compaction = %d, want 41", next)
+	}
+}
+
+// TestCompactConcurrentAppends drives Compact against racing appenders:
+// every record journaled before its job's terminal must survive or be
+// compacted away exactly according to terminal state, never torn.
+func TestCompactConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	spec := json.RawMessage(`{"scenario":"landau"}`)
+	now := time.Now()
+	const perWorker = 25
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := s.NextID()
+				if err := s.Submitted(id, "t", spec, now); err != nil {
+					t.Error(err)
+					return
+				}
+				if id%2 == 0 {
+					if err := s.Terminal(id, "done", ""); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := s.Compact(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	wantPending := len(s.Pending())
+	s.Close()
+	s2 := openStore(t, dir)
+	if got := len(s2.Pending()); got != wantPending {
+		t.Fatalf("pending after concurrent compaction: %d, want %d", got, wantPending)
+	}
+}
+
+// TestOpenIgnoresLeftoverTmp pins the crash-interrupted-compaction
+// contract: a journal.v6dj.tmp left by a compaction killed between its
+// write and its rename must be removed by Open and NEVER replayed — the
+// tmp may describe a world the real journal contradicts.
+func TestOpenIgnoresLeftoverTmp(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	spec := json.RawMessage(`{"scenario":"landau"}`)
+	id := s.NextID()
+	if err := s.Submitted(id, "alice", spec, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Fabricate the killed compaction's leftovers: a tmp journal holding a
+	// DIFFERENT world — a bogus job that must not come back to life.
+	tmp := filepath.Join(dir, journalName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeRecord(f, record{Type: "seq", Next: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeRecord(f, record{Type: "submitted", ID: 77, Tenant: "ghost",
+		Spec: spec, UnixNano: time.Now().UnixNano()}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openStore(t, dir)
+	pending := s2.Pending()
+	if len(pending) != 1 || pending[0].ID != id || pending[0].Tenant != "alice" {
+		t.Fatalf("pending after leftover tmp: %+v", pending)
+	}
+	if next := s2.NextID(); next >= 99 {
+		t.Fatalf("tmp's seq record leaked into the id counter: next = %d", next)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("leftover tmp not removed: %v", err)
+	}
+}
+
+// TestOpenIndexIgnoresLeftoverTmp is the index half of the same contract.
+func TestOpenIndexIgnoresLeftoverTmp(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Put(IndexEntry{ID: 1, Name: "real", Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	ix.Close()
+
+	tmp := filepath.Join(dir, indexName+".tmp")
+	payload, _ := json.Marshal(IndexEntry{ID: 2, Name: "ghost", Status: "done"})
+	f, err := os.Create(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeFrame(f, payload); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ix2, err := OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix2.Close()
+	if _, ok := ix2.Get(2); ok {
+		t.Fatal("leftover index tmp was replayed")
+	}
+	if e, ok := ix2.Get(1); !ok || e.Name != "real" {
+		t.Fatalf("real entry lost: %+v ok=%v", e, ok)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("leftover index tmp not removed: %v", err)
 	}
 }
 

@@ -14,19 +14,30 @@
 //
 //	{
 //	  "tenants": [
+//	    {"name": "ops", "key": "an-operator-string", "admin": true},
 //	    {"name": "alice", "key": "a-long-random-string",
 //	     "max_queued": 16, "max_cores": 4,
-//	     "rate_per_sec": 2, "burst": 4},
+//	     "rate_per_sec": 2, "burst": 4,
+//	     "max_storage_bytes": 1073741824},
 //	    {"name": "bob", "key": "another-long-random-string"}
 //	  ]
 //	}
 //
 // Every quota field is optional; zero means unlimited (no queue bound, no
-// core cap, no rate limit). Names and keys must be unique and non-empty.
+// core cap, no rate limit, no storage cap). Names and keys must be unique
+// and non-empty. "admin" grants the /v1/admin surface (hot key reload);
+// an always-on daemon needs at least one admin tenant to rotate keys over
+// HTTP, though SIGHUP reloads work regardless.
+//
+// The registry itself is immutable — key rotation swaps a whole new
+// Registry in behind the control plane's atomic pointer (see serve), so a
+// reload that fails validation leaves the old registry untouched.
 package tenant
 
 import (
 	"context"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -56,6 +67,15 @@ type Tenant struct {
 	// Burst is the bucket capacity (defaults to ceil(RatePerSec), at
 	// least 1, when a rate is set).
 	Burst int `json:"burst"`
+	// MaxStorageBytes caps the tenant's checkpoint-artifact bytes on disk.
+	// Over the cap, the control plane evicts the tenant's oldest snapshots
+	// down to a retention floor and then fails the over-quota job.
+	// 0 = unlimited.
+	MaxStorageBytes int64 `json:"max_storage_bytes"`
+	// Admin grants the /v1/admin surface (key-file reload). Admin is an
+	// operator capability, not a quota exemption — admin tenants still
+	// submit under their own quotas.
+	Admin bool `json:"admin"`
 
 	mu     sync.Mutex
 	tokens float64
@@ -73,12 +93,17 @@ func (t *Tenant) Allow(now time.Time) (bool, time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	burst := float64(t.Burst)
+	// last advances only when time does: a backwards clock step (NTP
+	// correction, VM migration) must not rewind the refill anchor, or the
+	// interval it rewound over would accrue tokens twice once the clock
+	// recovers.
 	if t.last.IsZero() {
 		t.tokens = burst
+		t.last = now
 	} else if dt := now.Sub(t.last).Seconds(); dt > 0 {
 		t.tokens = math.Min(burst, t.tokens+dt*t.RatePerSec)
+		t.last = now
 	}
-	t.last = now
 	if t.tokens >= 1 {
 		t.tokens--
 		return true, 0
@@ -89,9 +114,14 @@ func (t *Tenant) Allow(now time.Time) (bool, time.Duration) {
 
 // Registry maps bearer keys to tenants. Construct with Load or Parse; a
 // loaded registry is immutable and safe for concurrent use.
+//
+// Keys are held as SHA-256 digests and Lookup compares digests in
+// constant time over the whole tenant list — a raw map probe on the
+// secret would leak prefix-match timing to an attacker iterating
+// candidate keys.
 type Registry struct {
-	byKey map[string]*Tenant
-	order []*Tenant
+	digests [][sha256.Size]byte // parallel to order
+	order   []*Tenant
 }
 
 // Load reads and parses a key file.
@@ -123,8 +153,9 @@ func Parse(r io.Reader) (*Registry, error) {
 	if len(doc.Tenants) == 0 {
 		return nil, fmt.Errorf("no tenants declared")
 	}
-	reg := &Registry{byKey: make(map[string]*Tenant, len(doc.Tenants))}
+	reg := &Registry{}
 	names := make(map[string]bool, len(doc.Tenants))
+	keys := make(map[[sha256.Size]byte]bool, len(doc.Tenants))
 	for i, t := range doc.Tenants {
 		if t.Name == "" {
 			return nil, fmt.Errorf("tenant %d: empty name", i)
@@ -135,10 +166,11 @@ func Parse(r io.Reader) (*Registry, error) {
 		if names[t.Name] {
 			return nil, fmt.Errorf("duplicate tenant name %q", t.Name)
 		}
-		if _, dup := reg.byKey[t.Key]; dup {
+		digest := sha256.Sum256([]byte(t.Key))
+		if keys[digest] {
 			return nil, fmt.Errorf("tenant %q: key already in use", t.Name)
 		}
-		if t.MaxQueued < 0 || t.MaxCores < 0 || t.RatePerSec < 0 || t.Burst < 0 {
+		if t.MaxQueued < 0 || t.MaxCores < 0 || t.RatePerSec < 0 || t.Burst < 0 || t.MaxStorageBytes < 0 {
 			return nil, fmt.Errorf("tenant %q: negative quota", t.Name)
 		}
 		if t.RatePerSec > 0 && t.Burst == 0 {
@@ -148,16 +180,30 @@ func Parse(r io.Reader) (*Registry, error) {
 			}
 		}
 		names[t.Name] = true
-		reg.byKey[t.Key] = t
+		keys[digest] = true
+		reg.digests = append(reg.digests, digest)
 		reg.order = append(reg.order, t)
 	}
 	return reg, nil
 }
 
-// Lookup resolves a bearer key to its tenant.
+// Lookup resolves a bearer key to its tenant. The comparison is constant
+// time in the presented key: the key is hashed once, every registered
+// digest is compared with crypto/subtle (no early exit), and the match is
+// selected without branching on position. Timing reveals only the
+// registry's size, never how close a guess came.
 func (r *Registry) Lookup(key string) (*Tenant, bool) {
-	t, ok := r.byKey[key]
-	return t, ok
+	digest := sha256.Sum256([]byte(key))
+	idx := -1
+	for i := range r.digests {
+		// ConstantTimeSelect keeps even the bookkeeping branch-free.
+		idx = subtle.ConstantTimeSelect(
+			subtle.ConstantTimeCompare(r.digests[i][:], digest[:]), i, idx)
+	}
+	if idx < 0 {
+		return nil, false
+	}
+	return r.order[idx], true
 }
 
 // ByName resolves a tenant by name — how a restarting control plane maps a

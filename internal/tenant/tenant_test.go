@@ -38,13 +38,14 @@ func TestParseKeyFile(t *testing.T) {
 
 func TestParseRejectsBadFiles(t *testing.T) {
 	for name, doc := range map[string]string{
-		"empty set":      `{"tenants": []}`,
-		"empty name":     `{"tenants": [{"name": "", "key": "k1"}]}`,
-		"empty key":      `{"tenants": [{"name": "a", "key": ""}]}`,
-		"dup name":       `{"tenants": [{"name": "a", "key": "k1"}, {"name": "a", "key": "k2"}]}`,
-		"dup key":        `{"tenants": [{"name": "a", "key": "k"}, {"name": "b", "key": "k"}]}`,
-		"negative quota": `{"tenants": [{"name": "a", "key": "k", "max_cores": -1}]}`,
-		"unknown field":  `{"tenants": [{"name": "a", "key": "k", "max_corse": 2}]}`,
+		"empty set":        `{"tenants": []}`,
+		"empty name":       `{"tenants": [{"name": "", "key": "k1"}]}`,
+		"empty key":        `{"tenants": [{"name": "a", "key": ""}]}`,
+		"dup name":         `{"tenants": [{"name": "a", "key": "k1"}, {"name": "a", "key": "k2"}]}`,
+		"dup key":          `{"tenants": [{"name": "a", "key": "k"}, {"name": "b", "key": "k"}]}`,
+		"negative quota":   `{"tenants": [{"name": "a", "key": "k", "max_cores": -1}]}`,
+		"negative storage": `{"tenants": [{"name": "a", "key": "k", "max_storage_bytes": -1}]}`,
+		"unknown field":    `{"tenants": [{"name": "a", "key": "k", "max_corse": 2}]}`,
 	} {
 		if _, err := Parse(strings.NewReader(doc)); err == nil {
 			t.Errorf("%s: accepted", name)
@@ -79,6 +80,85 @@ func TestTokenBucket(t *testing.T) {
 		if ok, _ := open.Allow(now); !ok {
 			t.Fatal("unlimited tenant throttled")
 		}
+	}
+}
+
+// TestAllowClockRegression pins the non-monotonic-clock contract: a
+// backwards time step must not rewind the refill anchor, or the rewound
+// interval accrues tokens twice once the clock recovers. The sequence
+// drains the burst at t0, steps the clock back 10 s, then returns to t0 —
+// with the bug, the return "refills" 10 s worth of tokens for time that
+// was already counted.
+func TestAllowClockRegression(t *testing.T) {
+	tn := &Tenant{Name: "a", Key: "k", RatePerSec: 1, Burst: 4}
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 4; i++ {
+		if ok, _ := tn.Allow(t0); !ok {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if ok, _ := tn.Allow(t0); ok {
+		t.Fatal("empty bucket allowed at t0")
+	}
+	// Clock steps backwards (NTP correction): no refill, and — the fix —
+	// no rewind of the anchor either.
+	for _, back := range []time.Duration{10 * time.Second, 5 * time.Second, time.Second} {
+		if ok, _ := tn.Allow(t0.Add(-back)); ok {
+			t.Fatalf("backwards clock step -%v minted a token", back)
+		}
+	}
+	// Clock recovers to exactly t0: zero real time has passed since the
+	// burst drained, so the bucket must still be empty.
+	if ok, _ := tn.Allow(t0); ok {
+		t.Fatal("clock recovery to t0 re-accrued already-counted time")
+	}
+	// One real second later exactly one token exists.
+	if ok, _ := tn.Allow(t0.Add(time.Second)); !ok {
+		t.Fatal("legitimate refill denied after recovery")
+	}
+	if ok, _ := tn.Allow(t0.Add(time.Second)); ok {
+		t.Fatal("single refilled second granted two tokens")
+	}
+}
+
+// TestLookupDigests exercises the constant-time digest path: exact keys
+// resolve, near-miss keys (shared prefix, differing last byte) and
+// extensions do not.
+func TestLookupDigests(t *testing.T) {
+	reg, err := Parse(strings.NewReader(keyFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]string{
+		"alice-key-0123": "alice",
+		"bob-key-4567":   "bob",
+	} {
+		tn, ok := reg.Lookup(key)
+		if !ok || tn.Name != want {
+			t.Fatalf("Lookup(%q) = %v ok=%v, want %s", key, tn, ok, want)
+		}
+	}
+	for _, miss := range []string{"alice-key-0124", "alice-key-012", "alice-key-01234", "", "bob-key-4568"} {
+		if tn, ok := reg.Lookup(miss); ok {
+			t.Fatalf("near-miss %q resolved to %s", miss, tn.Name)
+		}
+	}
+}
+
+func TestParseAdminAndStorage(t *testing.T) {
+	reg, err := Parse(strings.NewReader(`{"tenants": [
+	  {"name": "ops", "key": "ops-key", "admin": true},
+	  {"name": "a", "key": "a-key", "max_storage_bytes": 4096}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, _ := reg.ByName("ops")
+	if !ops.Admin {
+		t.Fatal("admin flag lost in parse")
+	}
+	a, _ := reg.ByName("a")
+	if a.Admin || a.MaxStorageBytes != 4096 {
+		t.Fatalf("a: admin=%v storage=%d", a.Admin, a.MaxStorageBytes)
 	}
 }
 
