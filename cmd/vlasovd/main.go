@@ -18,7 +18,16 @@
 //	curl -N -H 'Authorization: Bearer <key>' -H 'Last-Event-ID: 42' \
 //	     localhost:8080/v1/jobs/0/diagnostics     # resume, replaying events 43+
 //	curl -s -H 'Authorization: Bearer <key>' localhost:8080/v1/jobs/0/checkpoints | jq .
+//	curl -s -H 'Authorization: Bearer <key>' localhost:8080/v1/jobs/0/trace | jq .
+//	curl -s -H 'Authorization: Bearer <key>' 'localhost:8080/v1/jobs?archived=1' | jq .
 //	curl -s localhost:8080/metrics                        # unauthenticated
+//
+// Every job carries a lifecycle trace — admission, queue wait, dispatch
+// attempts, running segments, checkpoint writes — served live at
+// /v1/jobs/{id}/trace and archived into the artifact index at terminal
+// time; -trace-spans bounds the per-job buffer. The same measurements
+// feed the latency histograms on /metrics. Admin tenants get runtime
+// profiles at /v1/admin/pprof/ (heap, profile, goroutine, trace, …).
 //
 // SIGTERM/SIGINT starts the graceful drain: intake stops (submissions get
 // 503 with Retry-After), queued and running jobs finish — checkpointing on
@@ -71,6 +80,7 @@ func main() {
 		diagRing  = flag.Int("diag-ring", 0, "per-job diagnostics replay ring size (0 = 512): how far back an SSE client can resume with Last-Event-ID before hitting an explicit gap")
 		compactB  = flag.Int64("journal-compact-bytes", 0, "journal size that triggers online compaction (0 = 1 MiB default, negative disables)")
 		compactN  = flag.Int("journal-compact-records", 0, "journal record count that triggers online compaction (0 = 4096 default, negative disables)")
+		traceSpan = flag.Int("trace-spans", 0, "per-job lifecycle-trace span buffer (0 = 256): oldest spans are evicted, counted, and reported by /v1/jobs/{id}/trace")
 	)
 	flag.Parse()
 
@@ -96,6 +106,7 @@ func main() {
 		KeysPath:              *keys,
 		JournalCompactBytes:   *compactB,
 		JournalCompactRecords: *compactN,
+		TraceSpans:            *traceSpan,
 	})
 	if err != nil {
 		log.Fatal(err)

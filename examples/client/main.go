@@ -28,6 +28,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -63,6 +64,7 @@ func main() {
 		until   = flag.Float64("until", 10, "integration time ω_p·t")
 		tok     = flag.String("token", "", "tenant bearer key for a daemon started with -keys (empty = anonymous)")
 		reload  = flag.Bool("reload", false, "POST /v1/admin/reload (hot key-file reload; -token must be an admin tenant's key) and exit")
+		traceID = flag.Int("trace", -1, "fetch /v1/jobs/{id}/trace, print the job's lifecycle span timeline, and exit")
 	)
 	flag.Parse()
 	base := strings.TrimRight(*addr, "/")
@@ -86,6 +88,13 @@ func main() {
 		}
 		json.Unmarshal(raw, &out)
 		log.Printf("key file reloaded: %d tenants live", out.Tenants)
+		return
+	}
+
+	if *traceID >= 0 {
+		if err := printTrace(base, *traceID); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -335,4 +344,72 @@ func tailOnce(body io.Reader, id int, lastEventID *string, lastPrinted *int) boo
 		}
 	}
 	return false
+}
+
+// printTrace fetches one job's lifecycle trace and renders it as a
+// timeline: each span's name, offset from the trace start, duration, and
+// attributes — "where did this job's wall clock go", answered from the
+// daemon's own records (live or archived).
+func printTrace(base string, id int) error {
+	resp, err := get(fmt.Sprintf("%s/v1/jobs/%d/trace", base, id))
+	if err != nil {
+		return err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return explain(resp.StatusCode, raw)
+	}
+	var doc struct {
+		ID       int  `json:"id"`
+		Archived bool `json:"archived"`
+		Spans    []struct {
+			Name            string            `json:"name"`
+			StartUnixNano   int64             `json:"start_unix_nano"`
+			EndUnixNano     int64             `json:"end_unix_nano"`
+			DurationSeconds float64           `json:"duration_seconds"`
+			Open            bool              `json:"open"`
+			Attrs           map[string]string `json:"attrs"`
+		} `json:"spans"`
+		DroppedSpans int64 `json:"dropped_spans"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("trace for job %d: %w", id, err)
+	}
+	label := "live"
+	if doc.Archived {
+		label = "archived"
+	}
+	log.Printf("trace for job #%d (%s): %d spans, %d dropped", doc.ID, label, len(doc.Spans), doc.DroppedSpans)
+	if len(doc.Spans) == 0 {
+		return nil
+	}
+	t0 := doc.Spans[0].StartUnixNano
+	for _, sp := range doc.Spans {
+		if t0 > sp.StartUnixNano {
+			t0 = sp.StartUnixNano
+		}
+	}
+	for _, sp := range doc.Spans {
+		offset := float64(sp.StartUnixNano-t0) / 1e9
+		dur := "open"
+		if !sp.Open {
+			dur = fmt.Sprintf("%.6fs", sp.DurationSeconds)
+		}
+		attrs := ""
+		if len(sp.Attrs) > 0 {
+			keys := make([]string, 0, len(sp.Attrs))
+			for k := range sp.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				parts = append(parts, k+"="+sp.Attrs[k])
+			}
+			attrs = "  " + strings.Join(parts, " ")
+		}
+		log.Printf("  +%10.6fs  %-14s %10s%s", offset, sp.Name, dur, attrs)
+	}
+	return nil
 }

@@ -82,3 +82,13 @@ func (e *ETAEstimator) ETASeconds() (float64, bool) {
 
 // Target returns the clock target the estimator projects toward.
 func (e *ETAEstimator) Target() float64 { return e.target }
+
+// Rate returns the current EWMA clock-advance rate in clock units per wall
+// second (0 until two wall-separated samples have arrived) — the per-job
+// throughput figure a trace span records alongside the ETA projection.
+func (e *ETAEstimator) Rate() float64 {
+	if e.samples < 2 {
+		return 0
+	}
+	return e.rate
+}

@@ -1,0 +1,187 @@
+// Package obs is the observability core of the control plane: a span-based
+// job-lifecycle tracer and a fixed-bucket histogram, both cheap enough to
+// sit on hot paths.
+//
+// The paper's headline metric is time-to-solution at extreme scale, and its
+// §7 accounting splits a run's wall clock into phases (compute, diagnostics,
+// snapshot I/O). The service form of that accounting is a trace: every job
+// carries a bounded buffer of timed spans — admission, queue wait, each
+// dispatch attempt, each running segment, each checkpoint write, recovery
+// after a restart — so "where did this job's three hours go" is answerable
+// per job, not just as a fleet-wide total. The same measurements feed
+// Histograms, the fleet-wide distribution view /metrics scrapes.
+//
+// Both types are designed for the serve layer's concurrency shape: a Trace
+// has its own small mutex (never the server lock), and a Histogram is
+// entirely atomic — Observe from the runner's step loop costs two atomic
+// adds and a CAS, no lock, no allocation.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a job's life. Spans are JSON-serialisable and
+// persist into the artifact index at terminal time, so a trace outlives the
+// daemon that recorded it.
+type Span struct {
+	// Name is the phase: "admission", "queue", "dispatch", "run",
+	// "checkpoint", "backoff", "recovery", "quota_eviction", …
+	Name string `json:"name"`
+	// StartUnixNano / EndUnixNano bracket the span in wall time.
+	// EndUnixNano is 0 while the span is still open (a live trace read
+	// mid-run shows in-flight phases).
+	StartUnixNano int64 `json:"start_unix_nano"`
+	EndUnixNano   int64 `json:"end_unix_nano,omitempty"`
+	// Attrs carries phase-specific detail (attempt number, checkpoint
+	// clock, ETA projection at segment end, …) as strings.
+	Attrs map[string]string `json:"attrs,omitempty"`
+
+	id int64 // Start handle; 0 for spans recorded whole via Observe
+}
+
+// DurationSeconds is the span's length (0 for a still-open span).
+func (s Span) DurationSeconds() float64 {
+	if s.EndUnixNano == 0 {
+		return 0
+	}
+	return float64(s.EndUnixNano-s.StartUnixNano) / 1e9
+}
+
+// DefaultTraceSpans is the per-job span-buffer capacity when the caller
+// passes 0: enough for the full lifecycle of a long job (admission + queue
+// + a handful of attempts + running segments + a couple hundred checkpoint
+// writes) without letting one pathological job hold unbounded memory.
+const DefaultTraceSpans = 256
+
+// Trace is one job's bounded span buffer. When the buffer is full the
+// oldest span is evicted and counted — the trace document reports the loss
+// explicitly, mirroring the SSE ring's never-silent contract. Safe for
+// concurrent use; the lock is per-trace, so recording a span never
+// contends with any other job (or with the server lock). A nil *Trace is
+// a valid no-op recorder: every method tolerates it, so callers holding
+// an optional trace never need a guard on the recording path.
+type Trace struct {
+	mu      sync.Mutex
+	cap     int
+	spans   []Span
+	nextID  int64
+	dropped int64
+}
+
+// NewTrace returns a trace retaining up to capacity spans (0 picks
+// DefaultTraceSpans, minimum 8 so a minimal lifecycle always fits whole).
+func NewTrace(capacity int) *Trace {
+	if capacity == 0 {
+		capacity = DefaultTraceSpans
+	}
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Trace{cap: capacity}
+}
+
+// Start opens a span and returns its handle for End. Attrs may be nil.
+func (t *Trace) Start(name string, attrs map[string]string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	t.appendLocked(Span{
+		Name:          name,
+		StartUnixNano: time.Now().UnixNano(),
+		Attrs:         attrs,
+		id:            t.nextID,
+	})
+	return t.nextID
+}
+
+// End closes the span opened under handle id, merging extra attrs into it.
+// Ending an unknown (or already-evicted) handle is a no-op — eviction must
+// not turn a late End into a panic.
+func (t *Trace) End(id int64, attrs map[string]string) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.spans {
+		if t.spans[i].id == id {
+			t.spans[i].EndUnixNano = time.Now().UnixNano()
+			if len(attrs) > 0 {
+				if t.spans[i].Attrs == nil {
+					t.spans[i].Attrs = make(map[string]string, len(attrs))
+				}
+				for k, v := range attrs {
+					t.spans[i].Attrs[k] = v
+				}
+			}
+			return
+		}
+	}
+}
+
+// Observe records one already-completed span (a phase whose start and end
+// are both known at record time: a checkpoint write, a queue wait reported
+// by the scheduler at dispatch).
+func (t *Trace) Observe(name string, start, end time.Time, attrs map[string]string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.appendLocked(Span{
+		Name:          name,
+		StartUnixNano: start.UnixNano(),
+		EndUnixNano:   end.UnixNano(),
+		Attrs:         attrs,
+	})
+}
+
+// appendLocked retains a span, evicting the oldest when full. Callers hold
+// t.mu.
+func (t *Trace) appendLocked(s Span) {
+	if len(t.spans) >= t.cap {
+		copy(t.spans, t.spans[1:])
+		t.spans = t.spans[:len(t.spans)-1]
+		t.dropped++
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Snapshot returns a copy of the retained spans in record order plus the
+// count of spans evicted from the buffer. Attr maps are copied, so the
+// caller may serialise the result after dropping every lock.
+func (t *Trace) Snapshot() ([]Span, int64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	for i, s := range t.spans {
+		out[i] = s
+		out[i].id = 0
+		if s.Attrs != nil {
+			a := make(map[string]string, len(s.Attrs))
+			for k, v := range s.Attrs {
+				a[k] = v
+			}
+			out[i].Attrs = a
+		}
+	}
+	return out, t.dropped
+}
+
+// Len returns the number of retained spans.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // AsyncObserver is the off-thread diagnostics callback of WithAsyncObserver.
@@ -152,6 +153,7 @@ type pipeline struct {
 	ckptDir    string
 	ckptKeep   int
 	ckptNotify func(path string, clock float64)
+	ckptTimer  func(clock float64, d time.Duration)
 	dropNotify func(dropped int64)
 
 	// Consumer-side results, merged into the Report after drain.
@@ -171,6 +173,7 @@ func newPipeline(o *options) *pipeline {
 		ckptDir:    o.ckptDir,
 		ckptKeep:   o.ckptKeep,
 		ckptNotify: o.ckptNotify,
+		ckptTimer:  o.ckptTimer,
 		dropNotify: o.asyncOpts.dropNotify,
 		done:       make(chan struct{}),
 	}
@@ -290,9 +293,13 @@ func (p *pipeline) consume() {
 func (p *pipeline) writeCheckpoint(ev event) error {
 	// Snapshot I/O failures are marked retryable (see the sync path in
 	// Run): a scheduler retry re-runs the job from its newest good file.
+	writeStart := time.Now()
 	path, n, err := writeCheckpointFile(p.ckptDir, ev.clock, ev.ckpt)
 	if err != nil {
 		return MarkRetryable(fmt.Errorf("runner: async checkpoint after step %d: %w", ev.step, err))
+	}
+	if p.ckptTimer != nil {
+		p.ckptTimer(ev.clock, time.Since(writeStart))
 	}
 	p.written = append(p.written, path)
 	p.bytes += n

@@ -178,6 +178,8 @@ type options struct {
 	ckptEvery  int
 	ckptKeep   int
 	ckptNotify func(path string, clock float64)
+	stepTimer  func(d time.Duration)
+	ckptTimer  func(clock float64, d time.Duration)
 	fixedDT    float64
 	fixedDTSet bool
 	lease      WorkerLease
@@ -232,6 +234,24 @@ func WithCheckpoint(dir string, everyN int) Option {
 // caller.
 func WithCheckpointNotify(fn func(path string, clock float64)) Option {
 	return func(o *options) { o.ckptNotify = fn }
+}
+
+// WithStepTimer calls fn with the wall-clock duration of every completed
+// Step, on the step loop's goroutine. fn must be cheap — an atomic
+// histogram observation, not I/O — because it sits between steps on the hot
+// path (the bench's allocation gate runs without it, so instrumented
+// deployments pay only what their fn costs).
+func WithStepTimer(fn func(d time.Duration)) Option {
+	return func(o *options) { o.stepTimer = fn }
+}
+
+// WithCheckpointTimer calls fn after every durable snapshot with the solver
+// clock it captures and the wall-clock duration of the write (serialisation
+// through atomic rename). Like WithCheckpointNotify it fires on whichever
+// goroutine performed the write — the step loop synchronously, the pipeline
+// under WithAsync — so fn must be goroutine-safe.
+func WithCheckpointTimer(fn func(clock float64, d time.Duration)) Option {
+	return func(o *options) { o.ckptTimer = fn }
 }
 
 // WithCheckpointKeep prunes the checkpoint directory to the newest n
@@ -396,8 +416,12 @@ func Run(ctx context.Context, s Solver, until float64, opts ...Option) (*Report,
 			rep.Reason = ReasonUntil
 			break
 		}
+		stepStart := time.Now()
 		if err := s.Step(dt); err != nil {
 			return finish(fmt.Errorf("runner: step %d: %w", rep.Steps, err))
+		}
+		if o.stepTimer != nil {
+			o.stepTimer(time.Since(stepStart))
 		}
 		rep.Steps++
 		rep.Clock = s.Clock()
@@ -424,9 +448,13 @@ func Run(ctx context.Context, s Solver, until float64, opts ...Option) (*Report,
 					return finish(err)
 				}
 			} else {
+				writeStart := time.Now()
 				path, n, err := writeCheckpointFile(o.ckptDir, rep.Clock, ckpt.Checkpoint)
 				if err != nil {
 					return finish(MarkRetryable(fmt.Errorf("runner: checkpoint at step %d: %w", rep.Steps, err)))
+				}
+				if o.ckptTimer != nil {
+					o.ckptTimer(rep.Clock, time.Since(writeStart))
 				}
 				rep.Checkpoints = append(rep.Checkpoints, path)
 				rep.CheckpointBytes += n

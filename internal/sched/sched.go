@@ -268,6 +268,7 @@ type options struct {
 	workers     int
 	wall        time.Duration
 	notify      func(Update)
+	phaseNotify func(PhaseEvent)
 	retries     int
 	backoff     time.Duration
 	ckptDir     string
@@ -308,6 +309,41 @@ func WithWallClock(budget time.Duration) Option {
 // notifying worker, not the whole pool).
 func WithNotify(fn func(Update)) Option {
 	return func(o *options) { o.notify = fn }
+}
+
+// PhaseEvent is one completed scheduler-level phase of a job's life,
+// delivered to the WithPhaseNotify callback: the latency accounting the
+// Update stream cannot carry (an Update is a state *transition*; a phase is
+// a measured *interval*).
+//
+// Phases:
+//
+//	"queue"    — submission to dispatch (stream layer only; Attempt 0)
+//	"dispatch" — worker pickup to first solver step: core-lease acquisition
+//	             plus solver construction or checkpoint restore, per attempt
+//	"backoff"  — the retry delay between two attempts, tagged with the
+//	             attempt that failed
+type PhaseEvent struct {
+	// Index is the job's submission id (stream) or batch position.
+	Index int
+	// Name echoes the job name.
+	Name string
+	// Phase is "queue", "dispatch" or "backoff".
+	Phase string
+	// Attempt is the 1-based attempt the phase belongs to (0 for "queue",
+	// which precedes any attempt).
+	Attempt int
+	// Start and End bracket the phase in wall time.
+	Start, End time.Time
+}
+
+// WithPhaseNotify registers a callback for completed scheduler phases —
+// queue wait, per-attempt dispatch latency, retry backoff. Unlike
+// WithNotify the calls are not serialised: fn runs on whichever worker
+// goroutine finished the phase and must be safe for concurrent use and
+// cheap (a histogram observation, a span append — not I/O).
+func WithPhaseNotify(fn func(PhaseEvent)) Option {
+	return func(o *options) { o.phaseNotify = fn }
 }
 
 // WithRetries allows each job up to n additional attempts after a failure
@@ -532,10 +568,17 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 			defer wg.Done()
 			for i := range idx {
 				i := i
+				var emit phaseEmitter
+				if s.opts.phaseNotify != nil {
+					emit = func(phase string, attempt int, start, end time.Time) {
+						s.opts.phaseNotify(PhaseEvent{Index: i, Name: jobs[i].Name,
+							Phase: phase, Attempt: attempt, Start: start, End: end})
+					}
+				}
 				executeJob(ctx, &s.opts, budget, jobs[i], deadline,
 					func(st Status, attempt int, rep *runner.Report, err error) {
 						transition(i, st, attempt, rep, err)
-					})
+					}, emit)
 			}
 		}()
 	}
@@ -557,15 +600,21 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	return results, nil
 }
 
+// phaseEmitter receives completed phases from the shared executor. A nil
+// emitter disables the accounting; the layers build one from
+// options.phaseNotify plus their own job identity (submission id or batch
+// index).
+type phaseEmitter func(phase string, attempt int, start, end time.Time)
+
 // executeJob runs one job on the calling worker goroutine: checkpoint
 // resume, the attempt, and the retry-with-backoff loop around it. It is
 // shared by the batch and stream layers; transition receives every status
-// change with the attempt it belongs to. A non-nil budget scopes each
-// attempt with a core lease: acquired before the solver is built, released
-// when the attempt ends, so a job backing off between retries holds no
-// cores.
+// change with the attempt it belongs to, emit (may be nil) every completed
+// dispatch/backoff phase. A non-nil budget scopes each attempt with a core
+// lease: acquired before the solver is built, released when the attempt
+// ends, so a job backing off between retries holds no cores.
 func executeJob(ctx context.Context, o *options, budget *CoreBudget, job Job, deadline time.Time,
-	transition func(st Status, attempt int, rep *runner.Report, err error)) {
+	transition func(st Status, attempt int, rep *runner.Report, err error), emit phaseEmitter) {
 	if ctx.Err() != nil {
 		transition(Cancelled, 0, nil, nil)
 		return
@@ -576,7 +625,7 @@ func executeJob(ctx context.Context, o *options, budget *CoreBudget, job Job, de
 	}
 	for attempt := 1; ; attempt++ {
 		transition(Running, attempt, nil, nil)
-		rep, err := attemptJob(ctx, o, budget, job, deadline)
+		rep, err := attemptJob(ctx, o, budget, job, deadline, attempt, emit)
 		switch {
 		case err == nil:
 			transition(Done, attempt, rep, nil)
@@ -588,10 +637,14 @@ func executeJob(ctx context.Context, o *options, budget *CoreBudget, job Job, de
 			transition(Retrying, attempt, rep, err)
 			// Doubling backoff, cancellable: a job killed during its
 			// backoff reports Cancelled like one killed mid-run.
+			backoffStart := time.Now()
 			if !sleepCtx(ctx, retryDelay(o.backoff, attempt)) {
 				transition(Cancelled, attempt, nil,
 					fmt.Errorf("sched: job %q cancelled during retry backoff: %w", job.Name, ctx.Err()))
 				return
+			}
+			if emit != nil {
+				emit("backoff", attempt, backoffStart, time.Now())
 			}
 		default:
 			transition(Failed, attempt, rep, err)
@@ -602,8 +655,13 @@ func executeJob(ctx context.Context, o *options, budget *CoreBudget, job Job, de
 
 // attemptJob performs one attempt: build (or resume) the solver and drive
 // it with the job's options plus the scheduler's checkpoint, core-lease and
-// wall-clock wiring.
-func attemptJob(ctx context.Context, o *options, budget *CoreBudget, job Job, deadline time.Time) (*runner.Report, error) {
+// wall-clock wiring. The "dispatch" phase it emits spans worker pickup to
+// the hand-off into runner.Run — core-lease acquisition (which can park the
+// worker on a saturated budget) plus solver construction or checkpoint
+// restore, the two latencies between "Running" and actual stepping.
+func attemptJob(ctx context.Context, o *options, budget *CoreBudget, job Job, deadline time.Time,
+	attempt int, emit phaseEmitter) (*runner.Report, error) {
+	dispatchStart := time.Now()
 	var lease *Lease
 	if budget != nil {
 		// Acquire before the factory runs, so a heavy construction (IC
@@ -630,6 +688,9 @@ func attemptJob(ctx context.Context, o *options, budget *CoreBudget, job Job, de
 	if resumed && solver.Clock() >= job.Until {
 		// The newest snapshot is already at (or past) the target: the job
 		// finished before the kill and there is nothing left to run.
+		if emit != nil {
+			emit("dispatch", attempt, dispatchStart, time.Now())
+		}
 		return &runner.Report{Clock: solver.Clock(), Reason: runner.ReasonUntil}, nil
 	}
 	// Append scheduler-level options to a copy so a retry (or a re-run of
@@ -653,6 +714,9 @@ func attemptJob(ctx context.Context, o *options, budget *CoreBudget, job Job, de
 			remaining = time.Nanosecond
 		}
 		opts = append(opts, runner.WithWallClock(remaining))
+	}
+	if emit != nil {
+		emit("dispatch", attempt, dispatchStart, time.Now())
 	}
 	return runner.Run(ctx, solver, job.Until, opts...)
 }

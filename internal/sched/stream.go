@@ -74,11 +74,13 @@ type Stream struct {
 	done    chan struct{} // closed after all workers exit and results closes
 }
 
-// streamJob is one queued submission: the job plus its submission sequence
-// number (the FIFO tiebreak within a priority and the Update index).
+// streamJob is one queued submission: the job, its submission sequence
+// number (the FIFO tiebreak within a priority and the Update index), and
+// the wall time it entered the queue (the start of its "queue" phase).
 type streamJob struct {
 	job Job
 	seq int
+	at  time.Time
 }
 
 // jobRecord tracks one submission's lifecycle for the status surface. The
@@ -249,7 +251,7 @@ func (s *Stream) SubmitID(job Job) (int, error) {
 		ctx:      jctx,
 		cancel:   jcancel,
 	}
-	heap.Push(&s.pending, &streamJob{job: job, seq: id})
+	heap.Push(&s.pending, &streamJob{job: job, seq: id, at: time.Now()})
 	s.seq++
 	s.cond.Signal()
 	return id, nil
@@ -436,6 +438,16 @@ func (s *Stream) runOne(sj *streamJob, deadline time.Time) {
 	// long-lived service submits indefinitely and each WithCancel context
 	// otherwise stays parented to the stream context until shutdown.
 	defer rec.cancel()
+	var emit phaseEmitter
+	if s.opts.phaseNotify != nil {
+		emit = func(phase string, attempt int, start, end time.Time) {
+			s.opts.phaseNotify(PhaseEvent{Index: sj.seq, Name: sj.job.Name,
+				Phase: phase, Attempt: attempt, Start: start, End: end})
+		}
+		// The queue phase closed the moment the worker popped this job off
+		// the heap (runOne is entered immediately after).
+		emit("queue", 0, sj.at, time.Now())
+	}
 	executeJob(rec.ctx, &s.opts, s.budget, sj.job, deadline,
 		func(st Status, attempt int, rep *runner.Report, err error) {
 			s.mu.Lock()
@@ -455,7 +467,7 @@ func (s *Stream) runOne(sj *streamJob, deadline time.Time) {
 				s.results <- Result{ID: sj.seq, Name: sj.job.Name, Status: st,
 					Attempt: attempt, Report: rep, Err: err}
 			}
-		})
+		}, emit)
 }
 
 // notify serialises the WithNotify callback across workers, matching the

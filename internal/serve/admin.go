@@ -32,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"time"
 
 	"vlasov6d/internal/catalog"
@@ -205,6 +206,7 @@ func (s *Server) noteCheckpoint(e *jobEntry) {
 // error and cancelled through the scheduler; its snapshots then stop
 // growing and its peers keep their resume currency.
 func (s *Server) enforceStorageQuota(trigger *jobEntry, tn *tenant.Tenant) {
+	evictStart := time.Now()
 	type tracked struct {
 		e    *jobEntry
 		dir  string
@@ -267,8 +269,10 @@ func (s *Server) enforceStorageQuota(trigger *jobEntry, tn *tenant.Tenant) {
 	}
 
 	s.mu.Lock()
+	var freed int64
 	for i := range jobs {
 		e := jobs[i].e
+		freed += e.ckptBytes - totals[i]
 		s.storage[tn.Name] += totals[i] - e.ckptBytes
 		e.ckptBytes = totals[i]
 	}
@@ -285,6 +289,12 @@ func (s *Server) enforceStorageQuota(trigger *jobEntry, tn *tenant.Tenant) {
 		}
 	}
 	s.mu.Unlock()
+	// The eviction lands in the triggering job's trace: quota enforcement
+	// is wall time the tenant's snapshot pressure cost this job's pipeline.
+	trigger.trace.Observe("quota_eviction", evictStart, time.Now(), map[string]string{
+		"freed_bytes": strconv.FormatInt(freed, 10),
+		"failed":      strconv.FormatBool(failNow),
+	})
 	if failNow {
 		// The scheduler's cancel path stops the run; consumeResults sees
 		// quotaErr and reports the job failed, not cancelled.

@@ -36,10 +36,22 @@ type eventRing struct {
 // newEventRing returns a ring retaining up to capacity events (minimum 1:
 // the terminal event must always be retainable).
 func newEventRing(capacity int) *eventRing {
+	return newEventRingFrom(capacity, 1)
+}
+
+// newEventRingFrom returns a ring whose first event will carry sequence
+// number next — how a restarted daemon continues a job's numbering after
+// the journaled reservation instead of resetting to 1. Everything before
+// next is treated as evicted: a resuming client with an older cursor gets
+// a gap, not a reset.
+func newEventRingFrom(capacity int, next int64) *eventRing {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &eventRing{buf: make([]ringEvent, capacity), next: 1}
+	if next < 1 {
+		next = 1
+	}
+	return &eventRing{buf: make([]ringEvent, capacity), next: next}
 }
 
 // append stamps the event with the next sequence number and retains it,
@@ -74,7 +86,13 @@ func (r *eventRing) firstRetained() int64 {
 // being shown a seamless-but-wrong sequence.
 func (r *eventRing) since(after int64) (evs []ringEvent, missed int64) {
 	if r.count == 0 {
-		return nil, 0
+		// An empty ring can still be *advanced*: a restart-continued ring
+		// starts past 1, so a cursor behind r.next has missed everything in
+		// between and must be told so.
+		if after+1 < r.next {
+			missed = r.next - 1 - after
+		}
+		return nil, missed
 	}
 	first := r.firstRetained()
 	if after+1 < first {
@@ -111,14 +129,28 @@ func (r *eventRing) trimTo(n int) {
 	}
 }
 
+// eventSchema is the version tag stamped into every SSE event payload.
+// External consumers pin on it: a breaking change to any event's shape
+// bumps the tag, an additive change does not. See README "Event stream
+// contract".
+const eventSchema = "v1"
+
 // marshalEvent marshals an event payload, degrading a marshal failure to
 // an "error"-typed event carrying the failure string: the stream must end
 // (or continue) with a visible reason, never die silently mid-sequence.
+// Map payloads (every event the daemon emits) are stamped with the schema
+// version before marshalling.
 func marshalEvent(typ string, body any) (string, []byte) {
+	if m, ok := body.(map[string]any); ok {
+		if _, exists := m["schema"]; !exists {
+			m["schema"] = eventSchema
+		}
+	}
 	data, err := json.Marshal(body)
 	if err != nil {
 		fallback, _ := json.Marshal(map[string]string{
-			"error": "encoding " + typ + " event: " + err.Error(),
+			"schema": eventSchema,
+			"error":  "encoding " + typ + " event: " + err.Error(),
 		})
 		return "error", fallback
 	}

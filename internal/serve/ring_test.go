@@ -78,9 +78,14 @@ func TestMarshalEventFallback(t *testing.T) {
 	if body["error"] == "" {
 		t.Fatalf("fallback payload missing error: %v", body)
 	}
+	if body["schema"] != eventSchema {
+		t.Fatalf("fallback payload schema = %q, want %q", body["schema"], eventSchema)
+	}
 
+	// Every map payload is stamped with the schema version — the event
+	// stream contract clients pin on.
 	typ, data = marshalEvent("diag", map[string]any{"step": 1})
-	if typ != "diag" || string(data) != `{"step":1}` {
+	if typ != "diag" || string(data) != `{"schema":"v1","step":1}` {
 		t.Fatalf("clean marshal = %q %q", typ, data)
 	}
 }

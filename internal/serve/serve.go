@@ -8,13 +8,16 @@
 //	GET    /v1/jobs                      list every submission's status
 //	GET    /v1/jobs/{id}                 one submission's status
 //	DELETE /v1/jobs/{id}                 cancel (queued or running)
+//	GET    /v1/jobs?archived=1           list the tenant's archived (indexed) jobs
 //	GET    /v1/jobs/{id}/diagnostics     live SSE stream of per-step diagnostics
+//	GET    /v1/jobs/{id}/trace           the job's lifecycle span timeline (live or archived)
 //	GET    /v1/jobs/{id}/checkpoints     list the job's snapshot artifacts
 //	GET    /v1/jobs/{id}/checkpoints/{file}  download one artifact
 //	GET    /v1/scenarios                 the catalog's contract surface
 //	POST   /v1/admin/reload              hot key-file reload (admin tenants)
+//	GET    /v1/admin/pprof/              net/http/pprof profiles (admin tenants)
 //	GET    /healthz                      liveness
-//	GET    /metrics                      text-format counters
+//	GET    /metrics                      counters, gauges and latency histograms
 //
 // Diagnostics ride the runner's async observer pipeline (value snapshots
 // off the hot step loop, DropOldest back-pressure), so a slow or absent
@@ -95,6 +98,7 @@ import (
 
 	"vlasov6d/internal/catalog"
 	"vlasov6d/internal/machine"
+	"vlasov6d/internal/obs"
 	"vlasov6d/internal/runner"
 	"vlasov6d/internal/sched"
 	"vlasov6d/internal/snapio"
@@ -155,6 +159,11 @@ type Config struct {
 	// defaults (1 MiB / 4096 records); negative disables that threshold.
 	JournalCompactBytes   int64
 	JournalCompactRecords int
+	// TraceSpans bounds each job's lifecycle span buffer
+	// (0 = obs.DefaultTraceSpans). When full the oldest span is evicted and
+	// the trace document reports the drop count — same never-silent
+	// contract as the SSE ring.
+	TraceSpans int
 }
 
 // Default online journal-compaction thresholds: crossing either triggers
@@ -198,7 +207,23 @@ type jobEntry struct {
 	ckptDir   string
 	ckptBytes int64
 	quotaErr  string
+	// trace is the job's lifecycle span timeline; runSpan is the handle of
+	// the currently open "run" span (0 = none). At terminal time the trace
+	// snapshots into the artifact index, so it outlives history eviction.
+	trace   *obs.Trace
+	runSpan int64
+	// seqReserved is the highest event sequence number journaled as
+	// reserved for this job's ring (0 without a store). Reservation runs in
+	// blocks so the journal sees one append per eventSeqReserveBlock
+	// events, not one per event.
+	seqReserved int64
 }
+
+// eventSeqReserveBlock is the reservation granularity for durable event
+// numbering: each journal append claims this many sequence numbers ahead,
+// so a restart resumes past the reservation (a bounded, reported gap)
+// instead of resetting every resuming client's cursor to 1.
+const eventSeqReserveBlock = 4096
 
 // ringTerminalTail is how many ring events a terminal job keeps: enough
 // for a briefly-disconnected client to catch the ending (the last few
@@ -248,6 +273,15 @@ type Server struct {
 
 	drained   chan struct{} // closed when the stream's results are flushed
 	storeOnce sync.Once     // Close/Drain both finalise the journal
+
+	// Latency histograms, fed from the scheduler's phase notifications and
+	// the runner's timer hooks. Entirely atomic — Observe never takes s.mu,
+	// so the runner's hot step loop and the scheduler's workers record
+	// without contending with handlers.
+	histQueueWait  *obs.Histogram
+	histStep       *obs.Histogram
+	histCheckpoint *obs.Histogram
+	histDispatch   *obs.Histogram
 }
 
 // New starts the control plane: the stream's worker pool is live when New
@@ -281,6 +315,14 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		drained:   make(chan struct{}),
 	}
 	s.thrStart = s.start
+	s.histQueueWait = obs.NewHistogram("vlasovd_queue_wait_seconds",
+		"Time a job spent queued before a worker picked it up.", obs.DurationBuckets())
+	s.histStep = obs.NewHistogram("vlasovd_step_duration_seconds",
+		"Wall time of one solver step.", obs.DurationBuckets())
+	s.histCheckpoint = obs.NewHistogram("vlasovd_checkpoint_write_seconds",
+		"Wall time writing one checkpoint file.", obs.DurationBuckets())
+	s.histDispatch = obs.NewHistogram("vlasovd_dispatch_latency_seconds",
+		"Worker pickup to solver start: core-lease wait plus solver construction or restore.", obs.DurationBuckets())
 	if cfg.Tenants != nil {
 		s.tenants.Store(cfg.Tenants)
 	}
@@ -323,6 +365,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	}
 	opts := []sched.Option{
 		sched.WithNotify(s.onUpdate),
+		sched.WithPhaseNotify(s.onPhase),
 		sched.WithRetries(cfg.Retries),
 		sched.WithJobHistory(cfg.History),
 	}
@@ -381,6 +424,7 @@ func (s *Server) closeStore() {
 // budget. Submission stays sequential in journal order: priorities and
 // FIFO ties must replay deterministically, and SubmitID is cheap.
 func (s *Server) recoverJobs() {
+	recoverStart := time.Now()
 	pending := s.store.Pending()
 	if len(pending) == 0 {
 		return
@@ -439,9 +483,14 @@ func (s *Server) recoverJobs() {
 			tenant:    j.Tenant,
 			until:     job.Until,
 			submitted: j.Submitted,
-			ring:      newEventRing(s.cfg.RingSize),
-			subs:      make(map[chan struct{}]struct{}),
-			eta:       machine.NewETAEstimator(job.Until),
+			// The ring continues past the journaled reservation instead of
+			// resetting to 1, so a client resuming across the restart gets a
+			// bounded, explicit gap — never a silently restarted sequence.
+			ring:        newEventRingFrom(s.cfg.RingSize, j.EventSeqReserved+1),
+			seqReserved: j.EventSeqReserved,
+			subs:        make(map[chan struct{}]struct{}),
+			eta:         machine.NewETAEstimator(job.Until),
+			trace:       obs.NewTrace(s.cfg.TraceSpans),
 		}
 		if s.cfg.CheckpointDir != "" {
 			// Prime the storage accounting with what the previous life left
@@ -464,6 +513,10 @@ func (s *Server) recoverJobs() {
 		s.storage[j.Tenant] += entry.ckptBytes
 		s.recovered++
 		s.mu.Unlock()
+		// The recovered trace starts fresh (the previous life's spans are in
+		// the index if the job finished there); the recovery span marks the
+		// boot-replay cost this life paid before the job was runnable again.
+		entry.trace.Observe("recovery", recoverStart, time.Now(), nil)
 	}
 }
 
@@ -523,6 +576,13 @@ func (s *Server) consumeResults() {
 					s.store.Terminal(eid, "failed", msg)
 				}
 			}
+			// Backstop for the run span: the scheduler's terminal Update
+			// normally closed it, but a quota kill's cancel can race the
+			// notify — the snapshot below must never persist an open "run".
+			if e.runSpan != 0 {
+				e.trace.End(e.runSpan, nil)
+				e.runSpan = 0
+			}
 			s.appendEventLocked(e, "done", statusBody(e, s.snapshotFor(r.ID)))
 			// Terminal rings keep only a short tail: enough for a briefly
 			// disconnected watcher to catch the ending, cheap enough that
@@ -530,6 +590,10 @@ func (s *Server) consumeResults() {
 			e.ring.trimTo(ringTerminalTail)
 			if s.index != nil {
 				ixEntry = indexEntryLocked(e, &r, artifacts)
+				// The snapshot is the trace's durable form: it survives the
+				// history eviction below and restarts, served back by the
+				// trace endpoint with "archived": true.
+				ixEntry.Trace, ixEntry.TraceDropped = e.trace.Snapshot()
 			}
 			// Mirror the stream's history bound: evict the oldest terminal
 			// entries so an always-on daemon's memory stays bounded.
@@ -632,9 +696,21 @@ func (s *Server) onUpdate(u sched.Update) {
 		if e.runStart.IsZero() {
 			e.runStart = time.Now()
 		}
+		e.runSpan = e.trace.Start("run", map[string]string{"attempt": strconv.Itoa(u.Attempt)})
 		if s.store != nil {
 			s.store.Started(eid, u.Attempt)
 		}
+	} else if e.runSpan != 0 {
+		// Any transition away from Running closes the running segment; a
+		// retry opens a fresh one, so each attempt's compute time is its own
+		// span. The segment carries the clock-advance rate the ETA estimator
+		// settled on — the per-job throughput the machine model prices.
+		var attrs map[string]string
+		if rate := e.eta.Rate(); rate > 0 {
+			attrs = map[string]string{"clock_per_sec": strconv.FormatFloat(rate, 'g', -1, 64)}
+		}
+		e.trace.End(e.runSpan, attrs)
+		e.runSpan = 0
 	}
 	body := map[string]any{
 		"id":      eid,
@@ -648,6 +724,32 @@ func (s *Server) onUpdate(u sched.Update) {
 	s.appendEventLocked(e, "status", body)
 }
 
+// onPhase receives the scheduler's phase timings — queue wait, dispatch
+// latency, retry backoff. Unlike onUpdate it is NOT serialised by the
+// stream: workers call it concurrently, which is fine because the
+// histograms are atomic and the trace has its own per-job lock. s.mu is
+// held only for the id lookup, never across the recording.
+func (s *Server) onPhase(ev sched.PhaseEvent) {
+	s.mu.Lock()
+	e := s.jobs[s.byStream[ev.Index]]
+	s.mu.Unlock()
+	d := ev.End.Sub(ev.Start)
+	switch ev.Phase {
+	case "queue":
+		s.histQueueWait.ObserveDuration(d)
+	case "dispatch":
+		s.histDispatch.ObserveDuration(d)
+	}
+	if e == nil {
+		return
+	}
+	var attrs map[string]string
+	if ev.Phase != "queue" {
+		attrs = map[string]string{"attempt": strconv.Itoa(ev.Attempt)}
+	}
+	e.trace.Observe(ev.Phase, ev.Start, ev.End, attrs)
+}
+
 // attach wires the per-submission runner options onto a job: the lossy
 // diagnostics pipe every submission gets (with its eviction notifier, so
 // back-pressure drops surface as "gap" events instead of vanishing), and —
@@ -655,6 +757,22 @@ func (s *Server) onUpdate(u sched.Update) {
 // each snapshot's clock, which is what a restart consults to promise
 // "resumes from the newest checkpoint".
 func (s *Server) attach(job *sched.Job, entry *jobEntry) {
+	job.Opts = append(job.Opts,
+		// The step timer feeds the histogram only — per-step spans would
+		// flood a bounded trace; the step distribution is a fleet question.
+		runner.WithStepTimer(func(d time.Duration) {
+			s.histStep.ObserveDuration(d)
+		}),
+		// Checkpoint writes are rare enough to trace per job AND cheap to
+		// histogram. The callback runs on the writing goroutine (step loop
+		// or async pipeline) — atomic + per-trace lock, no s.mu.
+		runner.WithCheckpointTimer(func(clock float64, d time.Duration) {
+			s.histCheckpoint.ObserveDuration(d)
+			end := time.Now()
+			entry.trace.Observe("checkpoint", end.Add(-d), end,
+				map[string]string{"clock": strconv.FormatFloat(clock, 'g', -1, 64)})
+		}),
+	)
 	job.Opts = append(job.Opts, runner.WithAsyncObserver(
 		func(step int, d runner.Diagnostics) error {
 			s.observe(entry, step, d)
@@ -699,7 +817,16 @@ func (s *Server) attach(job *sched.Job, entry *jobEntry) {
 // after eviction); it never makes the publisher drop. Callers hold s.mu.
 func (s *Server) appendEventLocked(e *jobEntry, typ string, body any) {
 	t, data := marshalEvent(typ, body)
-	e.ring.append(t, data)
+	seq := e.ring.append(t, data)
+	if s.store != nil && seq > e.seqReserved {
+		// Sequence durability is block-granular: one journal append claims
+		// the next eventSeqReserveBlock numbers, so the per-event cost is
+		// amortised to ~zero and a restart resumes numbering past the
+		// reservation. The append rides s.mu like the journal's other
+		// bookkeeping writes; it happens once per 4096 events.
+		e.seqReserved = seq + eventSeqReserveBlock
+		s.store.EventSeqReserve(e.id, e.seqReserved)
+	}
 	for ch := range e.subs {
 		select {
 		case ch <- struct{}{}:
@@ -790,10 +917,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/diagnostics", s.handleDiagnostics)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints", s.handleCheckpoints)
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints/{file}", s.handleCheckpointFile)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("POST /v1/admin/reload", s.handleAdminReload)
+	// No method restriction: pprof's symbol endpoint accepts POST. The
+	// /v1/ prefix keeps the route behind withAuth; the handler itself
+	// enforces the admin capability.
+	mux.HandleFunc("/v1/admin/pprof/", s.handlePprof)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.Tenants == nil {
@@ -908,6 +1040,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		ring:      newEventRing(s.cfg.RingSize),
 		subs:      make(map[chan struct{}]struct{}),
 		eta:       machine.NewETAEstimator(job.Until),
+		trace:     obs.NewTrace(s.cfg.TraceSpans),
 	}
 	if tn != nil {
 		entry.tenant = tn.Name
@@ -972,6 +1105,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	// The admission span brackets spec decode, catalog resolution, quota
+	// checks and journaling — the control-plane overhead a client pays
+	// before its job is even queued.
+	attrs := map[string]string{"scenario": spec.Scenario}
+	if tenantName != "" {
+		attrs["tenant"] = tenantName
+	}
+	entry.trace.Observe("admission", entry.submitted, time.Now(), attrs)
 	s.recordAdmission(tenantName, "accept", "", hash, id)
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":     id,
@@ -1139,6 +1280,10 @@ func statusBodyIndex(ie *store.IndexEntry) map[string]any {
 // the listing (they, not the stream's bounded history, decide what is
 // still reportable); the scheduler snapshot fills in the live statuses.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("archived") == "1" {
+		s.handleListArchived(w, r)
+		return
+	}
 	tn, authed := tenant.FromContext(r.Context())
 	bySid := make(map[int]sched.JobSnapshot)
 	for _, js := range s.stream.Snapshot() {
@@ -1295,6 +1440,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("vlasovd_sse_replayed_total", "Events re-served from per-job rings on Last-Event-ID resumes.", sseReplayed)
 	counter("vlasovd_steps_observed_total", "Solver steps observed through the diagnostics pipeline across all jobs.", stepsObserved)
 	fmt.Fprintf(w, "# HELP vlasovd_step_throughput Observed solver steps per second since the previous scrape.\n# TYPE vlasovd_step_throughput gauge\nvlasovd_step_throughput %g\n", throughput)
+	// The latency histograms: fixed log-spaced buckets (100µs–300s), fed
+	// atomically off the hot paths, snapshot-consistent per scrape.
+	s.histQueueWait.WriteProm(w)
+	s.histDispatch.WriteProm(w)
+	s.histStep.WriteProm(w)
+	s.histCheckpoint.WriteProm(w)
 	gauge("vlasovd_queue_depth", "Jobs queued, not yet dispatched.", s.stream.Pending())
 	if b := s.stream.Budget(); b != nil {
 		gauge("vlasovd_budget_cores_total", "Cores the budget divides.", b.Total())

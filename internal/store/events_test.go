@@ -1,0 +1,129 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"vlasov6d/internal/obs"
+)
+
+// TestEventSeqReserveRoundTrip pins the durable event-numbering record: a
+// reservation journaled for a pending job survives close/reopen, only
+// ever ratchets upward, and an unknown id's record is ignored rather than
+// resurrecting a finished job.
+func TestEventSeqReserveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+
+	spec := json.RawMessage(`{"scenario":"landau"}`)
+	id := s.NextID()
+	if err := s.Submitted(id, "alice", spec, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EventSeqReserve(id, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EventSeqReserve(id, 8192); err != nil {
+		t.Fatal(err)
+	}
+	// A record for an id the journal does not know is dropped at replay.
+	if err := s.EventSeqReserve(99, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	pending := s2.Pending()
+	if len(pending) != 1 {
+		t.Fatalf("pending = %d jobs", len(pending))
+	}
+	if got := pending[0].EventSeqReserved; got != 8192 {
+		t.Fatalf("EventSeqReserved = %d, want 8192", got)
+	}
+}
+
+// TestEventSeqReserveSurvivesCompaction: boot compaction rewrites the
+// journal to the pending set — the reservation must be re-emitted, or a
+// compacted restart would silently reset every recovered job's numbering.
+func TestEventSeqReserveSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+
+	spec := json.RawMessage(`{"scenario":"landau"}`)
+	live := s.NextID()
+	if err := s.Submitted(live, "", spec, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EventSeqReserve(live, 4096); err != nil {
+		t.Fatal(err)
+	}
+	// A terminal job's records (reservation included) are compacted away.
+	done := s.NextID()
+	if err := s.Submitted(done, "", spec, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EventSeqReserve(done, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Terminal(done, "done", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	pending := s2.Pending()
+	if len(pending) != 1 || pending[0].ID != live {
+		t.Fatalf("pending after compaction: %+v", pending)
+	}
+	if got := pending[0].EventSeqReserved; got != 4096 {
+		t.Fatalf("EventSeqReserved after compaction = %d, want 4096", got)
+	}
+}
+
+// TestIndexTraceRoundTrip: a terminal entry's lifecycle trace — spans,
+// attrs, the drop counter — persists through the index and a reopen.
+func TestIndexTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(7)
+	e.Trace = []obs.Span{
+		{Name: "admission", StartUnixNano: 100, EndUnixNano: 200},
+		{Name: "run", StartUnixNano: 300, EndUnixNano: 900,
+			Attrs: map[string]string{"attempt": "1"}},
+	}
+	e.TraceDropped = 3
+	if err := ix.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	ix.Close()
+
+	ix, err = OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	got, ok := ix.Get(7)
+	if !ok {
+		t.Fatal("entry lost")
+	}
+	if len(got.Trace) != 2 || got.TraceDropped != 3 {
+		t.Fatalf("trace did not round-trip: %d spans, %d dropped", len(got.Trace), got.TraceDropped)
+	}
+	sp := got.Trace[1]
+	if sp.Name != "run" || sp.StartUnixNano != 300 || sp.EndUnixNano != 900 ||
+		sp.Attrs["attempt"] != "1" {
+		t.Fatalf("span did not round-trip: %+v", sp)
+	}
+	if sp.DurationSeconds() != 600e-9 {
+		t.Fatalf("duration = %g", sp.DurationSeconds())
+	}
+}

@@ -26,6 +26,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"vlasov6d/internal/obs"
 )
 
 // indexName is the artifact index file inside the store directory.
@@ -80,6 +82,12 @@ type IndexEntry struct {
 	Report *ReportSummary `json:"report,omitempty"`
 	// Artifacts lists the checkpoint files at terminal time, oldest first.
 	Artifacts []Artifact `json:"artifacts,omitempty"`
+	// Trace is the job's lifecycle span timeline, snapshotted at terminal
+	// time so it survives history eviction; TraceDropped counts spans the
+	// bounded buffer evicted before the snapshot (0 = the timeline is
+	// complete).
+	Trace        []obs.Span `json:"trace,omitempty"`
+	TraceDropped int64      `json:"trace_dropped,omitempty"`
 }
 
 // Submitted / Finished convert the wire timestamps.
@@ -269,13 +277,33 @@ func (ix *Index) Get(id int) (IndexEntry, bool) {
 	if !ok {
 		return IndexEntry{}, false
 	}
+	return e.copyLocked(), true
+}
+
+// copyLocked deep-copies an entry so callers can serialise it after the
+// lock drops. Span attr maps are shared read-only by convention (nothing
+// mutates an indexed trace), so the span slice copy is shallow per element.
+func (e *IndexEntry) copyLocked() IndexEntry {
 	out := *e
 	out.Artifacts = append([]Artifact(nil), e.Artifacts...)
+	out.Trace = append([]obs.Span(nil), e.Trace...)
 	if e.Report != nil {
 		rep := *e.Report
 		out.Report = &rep
 	}
-	return out, true
+	return out
+}
+
+// Entries returns every indexed job's record, id order, deep-copied — the
+// archived listing a control plane filters per tenant.
+func (ix *Index) Entries() []IndexEntry {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	out := make([]IndexEntry, 0, len(ix.byID))
+	for _, e := range ix.entriesLocked() {
+		out = append(out, e.copyLocked())
+	}
+	return out
 }
 
 // Len returns the number of indexed jobs.

@@ -6,12 +6,15 @@
 // ROADMAP's always-on exemplar (SK-Gd's real-time monitor: a campaign that
 // must survive process restarts without losing state).
 //
-// The journal records four event kinds per job, keyed by a persistent job
+// The journal records five event kinds per job, keyed by a persistent job
 // id that outlives any single process:
 //
 //	submitted   the tenant and the canonical spec JSON (catalog.JobSpec)
 //	started     an attempt began (1-based attempt number)
 //	checkpoint  a snapshot reached disk, with its clock
+//	events      SSE event sequence numbers reserved for the job's ring, so
+//	            numbering survives restarts (reserved in blocks, not per
+//	            event)
 //	terminal    the job finished: done, failed, or user-cancelled
 //
 // Records are CRC-framed (length + CRC32 + JSON payload) and fsynced, so a
@@ -80,6 +83,10 @@ type record struct {
 	// Status and Error accompany "terminal".
 	Status string `json:"status,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// Seq accompanies "events": the highest SSE event sequence reserved for
+	// the job, so a restarted daemon continues numbering instead of
+	// resetting every resuming client's cursor.
+	Seq int64 `json:"seq,omitempty"`
 }
 
 // JobState is the replayed state of one journaled job.
@@ -105,6 +112,11 @@ type JobState struct {
 	Terminal bool
 	Status   string
 	Error    string
+	// EventSeqReserved is the highest SSE event sequence number reserved
+	// for this job (0 = none journaled). A restarted daemon resumes its
+	// event numbering after this value, so sequence ids are never reused
+	// across restarts and resuming clients keep a meaningful cursor.
+	EventSeqReserved int64
 }
 
 // Store is an open journal. All methods are safe for concurrent use.
@@ -261,6 +273,10 @@ func (s *Store) apply(rec record) {
 			j.Status = rec.Status
 			j.Error = rec.Error
 		}
+	case "events":
+		if j := s.jobs[rec.ID]; j != nil && rec.Seq > j.EventSeqReserved {
+			j.EventSeqReserved = rec.Seq
+		}
 	}
 	// Unknown types are skipped: an older daemon replaying a newer journal
 	// must not lose the records it does understand.
@@ -316,6 +332,9 @@ func (s *Store) compactLocked() error {
 		}
 		if err == nil && j.Checkpoints > 0 {
 			err = write(record{Type: "checkpoint", ID: j.ID, Clock: j.LastCheckpointClock})
+		}
+		if err == nil && j.EventSeqReserved > 0 {
+			err = write(record{Type: "events", ID: j.ID, Seq: j.EventSeqReserved})
 		}
 	}
 	if err == nil {
@@ -442,6 +461,24 @@ func (s *Store) CheckpointWritten(id int, clock float64) error {
 		if clock > j.LastCheckpointClock {
 			j.LastCheckpointClock = clock
 		}
+	}
+	s.maybeAutoCompactLocked()
+	return nil
+}
+
+// EventSeqReserve journals that event sequence numbers up to and including
+// upTo are spoken for on the job's SSE ring. The serve layer reserves in
+// blocks (one fsync per block, not per event); after a restart it resumes
+// numbering at the reservation's end + 1, which keeps sequence ids unique
+// across daemon generations at the cost of a bounded gap.
+func (s *Store) EventSeqReserve(id int, upTo int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(record{Type: "events", ID: id, Seq: upTo}); err != nil {
+		return err
+	}
+	if j := s.jobs[id]; j != nil && upTo > j.EventSeqReserved {
+		j.EventSeqReserved = upTo
 	}
 	s.maybeAutoCompactLocked()
 	return nil
